@@ -1,0 +1,144 @@
+// Command expdriver regenerates the paper's measured tables and figures
+// from the simulation harness and prints them as text series — the rows the
+// paper plots.
+//
+// Usage:
+//
+//	expdriver [-scale F] [experiment ...]
+//
+// Experiments: table1 table2 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig14
+// sec6, or "all" (the default). -scale shrinks the workloads; reported
+// numbers are re-normalised to full scale, so the axes stay comparable to
+// the paper at any scale. -scale 1 reproduces the full-size experiment
+// (minutes of CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vmicache/internal/boot"
+	"vmicache/internal/cloudsim"
+	"vmicache/internal/cluster"
+	"vmicache/internal/sched"
+)
+
+var experiments = []string{
+	"table1", "table2", "fig2", "fig3", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig14", "sec6", "mixed", "cloud", "hetero", "snapshot",
+}
+
+func main() {
+	fs := flag.NewFlagSet("expdriver", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.1, "workload scale factor (1.0 = paper's full size)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e)
+		}
+		return
+	}
+	want := fs.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = experiments
+	}
+	for _, id := range want {
+		if err := runOne(id, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runCloud contrasts the three provisioning schemes over a simulated cloud
+// (the integration the paper's conclusion points at).
+func runCloud(scale float64) error {
+	fmt.Println("# Extension: cloud-scale simulation (2h, 1 VM/s, 32 nodes, 48 Zipf VMIs, 1GbE)")
+	fmt.Printf("%-26s %8s %9s %9s %9s %7s\n", "scheme", "boots", "mean(s)", "p50(s)", "p95(s)", "warm%")
+	for _, cfg := range []struct {
+		name   string
+		scheme cloudsim.Scheme
+		aware  bool
+	}{
+		{"qcow2", cloudsim.SchemeQCOW2, false},
+		{"vmi-cache (oblivious)", cloudsim.SchemeVMICache, false},
+		{"vmi-cache + cache-aware", cloudsim.SchemeVMICache, true},
+	} {
+		r, err := cloudsim.Run(cloudsim.Params{
+			Seed: 20130703, Nodes: 32, NodeCPU: 8, NodeMem: 24 << 30,
+			NodeCache: 1 << 30, StorageMem: 16 << 30,
+			Rate: 1, VMIs: 48, ZipfS: 1.3,
+			MeanLifetime: 10 * time.Minute, Duration: 2 * time.Hour,
+			VMCPU: 1, VMMem: 2 << 30,
+			Scheme: cfg.scheme, Policy: sched.Striping, CacheAware: cfg.aware,
+			Profile: boot.CentOS,
+		})
+		if err != nil {
+			return err
+		}
+		warm := 0.0
+		if r.Completed > 0 {
+			warm = 100 * float64(r.WarmLocal+r.WarmRemote) / float64(r.Completed)
+		}
+		fmt.Printf("%-26s %8d %9.1f %9.1f %9.1f %6.0f%%\n",
+			cfg.name, r.Completed, r.Boots.Mean(), r.Boots.Median(), r.Boots.Quantile(0.95), warm)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runOne(id string, scale float64) error {
+	start := time.Now()
+	switch id {
+	case "table1":
+		fmt.Println(cluster.Table1(scale))
+	case "table2":
+		fmt.Println(cluster.Table2(scale))
+	case "fig2":
+		fmt.Println(cluster.Fig2(scale))
+	case "fig3":
+		fmt.Println(cluster.Fig3(scale))
+	case "fig8":
+		fmt.Println(cluster.Fig8(scale))
+	case "fig9":
+		fmt.Println(cluster.Fig9(scale))
+	case "fig10":
+		b, tx := cluster.Fig10(scale)
+		fmt.Println(b)
+		fmt.Println(tx)
+	case "fig11":
+		fmt.Println(cluster.Fig11(scale))
+	case "fig12":
+		gbe, ib := cluster.Fig12(scale)
+		fmt.Println(gbe)
+		fmt.Println(ib)
+	case "fig14":
+		gbe, ib := cluster.Fig14(scale)
+		fmt.Println(gbe)
+		fmt.Println(ib)
+	case "cloud":
+		if err := runCloud(scale); err != nil {
+			return err
+		}
+	case "snapshot":
+		fmt.Println(cluster.ExtSnapshotRestore(scale))
+	case "hetero":
+		fmt.Println(cluster.ExtHeterogeneous(scale))
+	case "mixed":
+		fmt.Println(cluster.ExtMixedWarmCold(scale))
+	case "sec6":
+		disk, mem, delta := cluster.Sec6Delta(scale)
+		fmt.Printf("# §6 placement micro-experiment (32GbIB, 1 node, warm cache)\n")
+		fmt.Printf("compute-disk cache boot:   %.2f s\n", disk)
+		fmt.Printf("storage-memory cache boot: %.2f s\n", mem)
+		fmt.Printf("difference: %.2f%% (paper reports at most 1%%)\n\n", delta)
+	default:
+		return fmt.Errorf("unknown experiment (try -list)")
+	}
+	fmt.Printf("# [%s completed in %v at scale %g]\n\n", id, time.Since(start).Round(time.Millisecond), scale)
+	return nil
+}

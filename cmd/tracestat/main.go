@@ -1,0 +1,90 @@
+// Command tracestat analyses block traces captured by `vmiboot -trace`:
+// working-set size (Table 1's metric), request-size and inter-offset
+// distributions, and a sequentiality estimate — the measurements §2.3 bases
+// the whole cache-sizing argument on.
+//
+// Usage:
+//
+//	tracestat FILE [FILE...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vmicache/internal/metrics"
+	"vmicache/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat FILE [FILE...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := statOne(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func statOne(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	tr, err := trace.Load(f)
+	if err != nil {
+		return err
+	}
+	ws := trace.Analyze(tr)
+
+	var readSizes, gaps metrics.Histogram
+	var seqBytes int64
+	var lastEnd int64 = -1
+	for _, r := range tr.Records {
+		if r.Op != trace.OpRead {
+			continue
+		}
+		readSizes.Add(float64(r.Length))
+		if lastEnd >= 0 {
+			gap := r.Offset - lastEnd
+			if gap < 0 {
+				gap = -gap
+			}
+			gaps.Add(float64(gap))
+			if r.Offset == lastEnd {
+				seqBytes += r.Length
+			}
+		}
+		lastEnd = r.Offset + r.Length
+	}
+
+	fmt.Printf("== %s ==\n", path)
+	fmt.Printf("records: %d (%d reads, %d writes, %d flushes)\n",
+		tr.Len(), ws.ReadOps, ws.WriteOps, ws.FlushOps)
+	fmt.Printf("unique read working set: %.1f MB in %d disjoint regions (Table 1 metric)\n",
+		float64(ws.UniqueReadBytes)/1e6, ws.ReadIntervals)
+	fmt.Printf("total reads:  %.1f MB (reread factor %.2f)\n",
+		float64(ws.TotalReadBytes)/1e6,
+		float64(ws.TotalReadBytes)/float64(maxI64(ws.UniqueReadBytes, 1)))
+	fmt.Printf("total writes: %.1f MB (%.1f MB unique)\n",
+		float64(ws.TotalWriteBytes)/1e6, float64(ws.UniqueWriteBytes)/1e6)
+	if ws.ReadOps > 0 {
+		fmt.Printf("mean read: %.1f KiB, ~p50 <= %.0f KiB, ~p95 <= %.0f KiB\n",
+			readSizes.Mean()/1024, readSizes.ApproxQuantile(0.5)/1024, readSizes.ApproxQuantile(0.95)/1024)
+		fmt.Printf("sequential continuation: %.0f%% of read bytes\n",
+			100*float64(seqBytes)/float64(ws.TotalReadBytes))
+	}
+	fmt.Printf("\nread size distribution (bytes):\n%s\n", readSizes.String())
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Cloud: the paper's machinery operating a whole IaaS cloud over time.
+//
+// A 32-node cloud takes Poisson VM arrivals over a Zipf-popular image mix
+// for two simulated hours, under three provisioning schemes:
+//
+//  1. plain QCOW2 on-demand transfers (the paper's baseline),
+//  2. VMI caches with a cache-oblivious scheduler,
+//  3. VMI caches with the §3.4 cache-aware scheduler and §6's Algorithm 1
+//     deciding between node-local caches and storage-memory caches.
+//
+// Run with: go run ./examples/cloud
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	vmicache "vmicache"
+	"vmicache/internal/cloudsim"
+	"vmicache/internal/sched"
+)
+
+func main() {
+	base := cloudsim.Params{
+		Seed:         20130703,
+		Nodes:        32,
+		NodeCPU:      8,
+		NodeMem:      24 << 30,
+		NodeCache:    1 << 30, // ~10 CentOS caches per node
+		StorageMem:   16 << 30,
+		Rate:         1.0, // one VM per second
+		VMIs:         48,
+		ZipfS:        1.3,
+		MeanLifetime: 10 * time.Minute,
+		Duration:     2 * time.Hour,
+		VMCPU:        1,
+		VMMem:        2 << 30,
+		Policy:       sched.Striping,
+		Profile:      vmicache.CentOS,
+	}
+
+	fmt.Println("two simulated hours, 1 VM/s over 48 Zipf-popular images, 32 nodes, 1 GbE")
+	fmt.Printf("%-28s %8s %9s %9s %9s %8s %8s\n",
+		"scheme", "boots", "mean(s)", "p50(s)", "p95(s)", "warm%", "rejects")
+
+	for _, cfg := range []struct {
+		name   string
+		scheme cloudsim.Scheme
+		aware  bool
+	}{
+		{"qcow2", cloudsim.SchemeQCOW2, false},
+		{"vmi-cache (oblivious)", cloudsim.SchemeVMICache, false},
+		{"vmi-cache + cache-aware", cloudsim.SchemeVMICache, true},
+	} {
+		p := base
+		p.Scheme = cfg.scheme
+		p.CacheAware = cfg.aware
+		r, err := cloudsim.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm := 0.0
+		if r.Completed > 0 {
+			warm = 100 * float64(r.WarmLocal+r.WarmRemote) / float64(r.Completed)
+		}
+		fmt.Printf("%-28s %8d %9.1f %9.1f %9.1f %7.0f%% %8d\n",
+			cfg.name, r.Completed, r.Boots.Mean(), r.Boots.Median(),
+			r.Boots.Quantile(0.95), warm, r.Rejected)
+	}
+
+	fmt.Println("\nVMI caches turn almost every boot warm; cache-aware placement keeps the")
+	fmt.Println("working set on node-local disks, so boots stop touching the network at all.")
+}

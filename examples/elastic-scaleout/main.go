@@ -1,0 +1,52 @@
+// Elastic scale-out: the scenario from the paper's introduction — a web
+// service needs many more workers NOW, all booting from the same VMI.
+//
+// This example runs the simulated DAS-4 testbed (65 nodes, 1 GbE) and
+// compares simultaneous startup of 1..64 VMs under plain QCOW2 on-demand
+// transfers versus warm VMI caches on the compute nodes — the comparison of
+// Fig. 11. With caches, "the time needed for simultaneous VM startups
+// [drops] to the one of a single VM".
+//
+// Run with: go run ./examples/elastic-scaleout [-scale 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	vmicache "vmicache"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper size, slower)")
+	flag.Parse()
+
+	prof := vmicache.CentOS.Scale(*scale)
+	fmt.Printf("scaling out a web service from the %s image over 1 GbE\n", vmicache.CentOS.Name)
+	fmt.Printf("%-8s %18s %18s %12s\n", "# VMs", "QCOW2 boot (s)", "warm cache (s)", "speedup")
+
+	for _, n := range []int{1, 4, 8, 16, 32, 64} {
+		qcow2, err := vmicache.RunExperiment(vmicache.ExperimentParams{
+			Seed: 1, Network: vmicache.NetGbE, Nodes: n, VMIs: 1,
+			Mode: vmicache.ModeQCOW2, Profile: prof,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm, err := vmicache.RunExperiment(vmicache.ExperimentParams{
+			Seed: 1, Network: vmicache.NetGbE, Nodes: n, VMIs: 1,
+			Mode: vmicache.ModeWarmCache, Placement: vmicache.PlaceComputeDisk,
+			Profile: prof,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := qcow2.MeanBoot.Seconds() / *scale // renormalised to full scale
+		w := warm.MeanBoot.Seconds() / *scale
+		fmt.Printf("%-8d %18.1f %18.1f %11.1fx\n", n, q, w, q/w)
+	}
+
+	fmt.Println("\nwith warm VMI caches, 64 simultaneous startups cost ~one single-VM boot;")
+	fmt.Println("QCOW2 saturates the 1 GbE link past ~8 nodes and degrades linearly (Fig. 2/11).")
+}

@@ -1,0 +1,3 @@
+module vmicache
+
+go 1.22

@@ -1,0 +1,90 @@
+package backend
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error FaultyFile raises on scheduled failures.
+var ErrInjected = errors.New("backend: injected fault")
+
+// FaultyFile wraps a File and fails operations on demand — the failure-
+// injection harness used to verify that image-format errors surface cleanly
+// instead of corrupting metadata.
+type FaultyFile struct {
+	inner File
+
+	// failReadAfter / failWriteAfter arm a failure after N successful
+	// operations of that kind; negative means never.
+	failReadAfter  atomic.Int64
+	failWriteAfter atomic.Int64
+	failSync       atomic.Bool
+
+	readOps  atomic.Int64
+	writeOps atomic.Int64
+}
+
+// NewFaultyFile wraps inner with no failures armed.
+func NewFaultyFile(inner File) *FaultyFile {
+	f := &FaultyFile{inner: inner}
+	f.failReadAfter.Store(-1)
+	f.failWriteAfter.Store(-1)
+	return f
+}
+
+// FailReadAfter arms a read failure after n more successful reads
+// (0 = fail the next read). Negative disarms.
+func (f *FaultyFile) FailReadAfter(n int64) {
+	if n < 0 {
+		f.failReadAfter.Store(-1)
+		return
+	}
+	f.failReadAfter.Store(f.readOps.Load() + n)
+}
+
+// FailWriteAfter arms a write failure after n more successful writes.
+func (f *FaultyFile) FailWriteAfter(n int64) {
+	if n < 0 {
+		f.failWriteAfter.Store(-1)
+		return
+	}
+	f.failWriteAfter.Store(f.writeOps.Load() + n)
+}
+
+// FailSync makes Sync fail until disarmed.
+func (f *FaultyFile) FailSync(fail bool) { f.failSync.Store(fail) }
+
+// ReadAt fails when armed, otherwise forwards.
+func (f *FaultyFile) ReadAt(p []byte, off int64) (int, error) {
+	if t := f.failReadAfter.Load(); t >= 0 && f.readOps.Load() >= t {
+		return 0, ErrInjected
+	}
+	f.readOps.Add(1)
+	return f.inner.ReadAt(p, off)
+}
+
+// WriteAt fails when armed, otherwise forwards.
+func (f *FaultyFile) WriteAt(p []byte, off int64) (int, error) {
+	if t := f.failWriteAfter.Load(); t >= 0 && f.writeOps.Load() >= t {
+		return 0, ErrInjected
+	}
+	f.writeOps.Add(1)
+	return f.inner.WriteAt(p, off)
+}
+
+// Size forwards.
+func (f *FaultyFile) Size() (int64, error) { return f.inner.Size() }
+
+// Truncate forwards.
+func (f *FaultyFile) Truncate(n int64) error { return f.inner.Truncate(n) }
+
+// Sync fails when armed, otherwise forwards.
+func (f *FaultyFile) Sync() error {
+	if f.failSync.Load() {
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+// Close forwards.
+func (f *FaultyFile) Close() error { return f.inner.Close() }

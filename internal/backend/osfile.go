@@ -1,0 +1,61 @@
+package backend
+
+import (
+	"os"
+)
+
+// OSFile adapts *os.File to the File interface. It is used by the command-
+// line tools (cmd/qimg, cmd/rblockd, cmd/nbdserve) when images live on the
+// host filesystem.
+type OSFile struct {
+	f *os.File
+}
+
+// OpenOSFile opens an existing file for read/write (or read-only when ro).
+func OpenOSFile(path string, ro bool) (*OSFile, error) {
+	flag := os.O_RDWR
+	if ro {
+		flag = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flag, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &OSFile{f: f}, nil
+}
+
+// CreateOSFile creates (or truncates) a file for read/write.
+func CreateOSFile(path string) (*OSFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &OSFile{f: f}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (o *OSFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+
+// WriteAt implements io.WriterAt.
+func (o *OSFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+
+// Size reports the file length via fstat.
+func (o *OSFile) Size() (int64, error) {
+	fi, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Truncate resizes the file.
+func (o *OSFile) Truncate(n int64) error { return o.f.Truncate(n) }
+
+// Sync flushes to stable storage.
+func (o *OSFile) Sync() error { return o.f.Sync() }
+
+// Close closes the underlying descriptor.
+func (o *OSFile) Close() error { return o.f.Close() }
+
+// Name reports the underlying path.
+func (o *OSFile) Name() string { return o.f.Name() }

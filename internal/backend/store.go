@@ -1,0 +1,222 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store is a named collection of block files: the paper's media. A compute
+// node's disk, a storage node's NFS export, and a tmpfs all appear as Stores
+// so chain construction can place each image on the medium the experiment
+// calls for.
+type Store interface {
+	// Open returns a handle to an existing file. Handles are independent:
+	// closing one does not invalidate others on the same name.
+	Open(name string, readOnly bool) (File, error)
+
+	// Create returns a handle to a new empty file, replacing any
+	// existing content under that name.
+	Create(name string) (File, error)
+
+	// Remove deletes the named file.
+	Remove(name string) error
+
+	// Stat reports the file's size, or an error if it does not exist.
+	Stat(name string) (int64, error)
+}
+
+// ErrNotExist is returned by Store operations on missing names.
+var ErrNotExist = errors.New("backend: file does not exist")
+
+// MemStore is an in-memory Store: the tmpfs / RAM medium. All handles to a
+// name share the same MemFile; handle Close is a no-op so sharing is safe.
+type MemStore struct {
+	mu    sync.Mutex
+	files map[string]*MemFile
+}
+
+// NewMemStore returns an empty memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{files: make(map[string]*MemFile)}
+}
+
+// Open returns a shared handle to the named file.
+func (s *MemStore) Open(name string, readOnly bool) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if readOnly {
+		return &roFile{noCloseFile{f}}, nil
+	}
+	return noCloseFile{f}, nil
+}
+
+// Create installs a fresh file under name.
+func (s *MemStore) Create(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := NewMemFile()
+	s.files[name] = f
+	return noCloseFile{f}, nil
+}
+
+// Remove deletes the named file.
+func (s *MemStore) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(s.files, name)
+	return nil
+}
+
+// Stat reports the size of the named file.
+func (s *MemStore) Stat(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return f.Size()
+}
+
+// Names lists stored file names in sorted order.
+func (s *MemStore) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.files))
+	for n := range s.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes sums the sizes of all stored files.
+func (s *MemStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, f := range s.files {
+		if sz, err := f.Size(); err == nil {
+			total += sz
+		}
+	}
+	return total
+}
+
+// noCloseFile shares an underlying file between handles; Close is a no-op.
+type noCloseFile struct{ File }
+
+func (noCloseFile) Close() error { return nil }
+
+// roFile rejects mutation.
+type roFile struct{ File }
+
+func (roFile) WriteAt(p []byte, off int64) (int, error) { return 0, errReadOnlyStore }
+func (roFile) Truncate(int64) error                     { return errReadOnlyStore }
+
+var errReadOnlyStore = errors.New("backend: file opened read-only")
+
+// DirStore is a directory-backed Store for the command-line tools.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore returns a Store rooted at dir (created if absent).
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) path(name string) string { return filepath.Join(s.dir, filepath.Clean(name)) }
+
+// Open opens an existing file in the directory.
+func (s *DirStore) Open(name string, readOnly bool) (File, error) {
+	f, err := OpenOSFile(s.path(name), readOnly)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// Create creates/truncates a file in the directory.
+func (s *DirStore) Create(name string) (File, error) {
+	return CreateOSFile(s.path(name))
+}
+
+// Remove deletes a file from the directory.
+func (s *DirStore) Remove(name string) error {
+	err := os.Remove(s.path(name))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return err
+}
+
+// Stat reports a file's size.
+func (s *DirStore) Stat(name string) (int64, error) {
+	fi, err := os.Stat(s.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// CopyFile copies a whole file between stores (used for cache transfers to
+// the storage node's memory, Fig. 13). Returns the number of bytes copied.
+func CopyFile(dst Store, dstName string, src Store, srcName string) (int64, error) {
+	in, err := src.Open(srcName, true)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close() //nolint:errcheck // read-only handle
+	out, err := dst.Create(dstName)
+	if err != nil {
+		return 0, err
+	}
+	size, err := in.Size()
+	if err != nil {
+		out.Close() //nolint:errcheck
+		return 0, err
+	}
+	buf := make([]byte, 1<<20)
+	var copied int64
+	for copied < size {
+		n := int64(len(buf))
+		if size-copied < n {
+			n = size - copied
+		}
+		if err := ReadFull(in, buf[:n], copied); err != nil {
+			out.Close() //nolint:errcheck
+			return copied, err
+		}
+		if err := WriteFull(out, buf[:n], copied); err != nil {
+			out.Close() //nolint:errcheck
+			return copied, err
+		}
+		copied += n
+	}
+	if err := out.Sync(); err != nil {
+		out.Close() //nolint:errcheck
+		return copied, err
+	}
+	return copied, out.Close()
+}

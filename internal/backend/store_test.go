@@ -1,0 +1,155 @@
+package backend
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMemStoreLifecycle(t *testing.T) {
+	s := NewMemStore()
+	if _, err := s.Open("ghost", true); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	f, err := s.Create("a.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFull(f, []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Handles share content; Close is a no-op on the underlying data.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Open("a.img", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := ReadFull(h2, got, 0); err != nil || string(got) != "hello" {
+		t.Fatalf("shared content: %v %q", err, got)
+	}
+	if sz, err := s.Stat("a.img"); err != nil || sz != 5 {
+		t.Fatalf("stat: %d %v", sz, err)
+	}
+	if _, err := s.Stat("ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+
+	// Read-only handles reject mutation but read fine.
+	ro, err := s.Open("a.img", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.WriteAt([]byte{1}, 0); err == nil {
+		t.Fatal("RO handle accepted write")
+	}
+	if err := ro.Truncate(1); err == nil {
+		t.Fatal("RO handle accepted truncate")
+	}
+	if err := ReadFull(ro, got, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Create("b.img") //nolint:errcheck
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a.img" || names[1] != "b.img" {
+		t.Fatalf("names = %v", names)
+	}
+	if s.TotalBytes() != 5 {
+		t.Fatalf("total = %d", s.TotalBytes())
+	}
+	if err := s.Remove("a.img"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("a.img"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestDirStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("ghost", true); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := s.Stat("ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+	f, err := s.Create("x.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFull(f, bytes.Repeat([]byte{9}, 1000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := s.Stat("x.img"); err != nil || sz != 1000 {
+		t.Fatalf("stat: %d %v", sz, err)
+	}
+	ro, err := s.Open("x.img", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1000)
+	if err := ReadFull(ro, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	ro.Close() //nolint:errcheck
+	if err := s.Remove("x.img"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("x.img"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestCopyFileBetweenStores(t *testing.T) {
+	src := NewMemStore()
+	dst := NewMemStore()
+	f, _ := src.Create("big")
+	payload := bytes.Repeat([]byte{0x5c}, 3<<20+123) // > one copy buffer
+	if err := WriteFull(f, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CopyFile(dst, "copy", src, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("copied %d of %d", n, len(payload))
+	}
+	out, err := dst.Open("copy", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := ReadFull(out, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("copy mismatch")
+	}
+	// Missing source fails cleanly.
+	if _, err := CopyFile(dst, "nope", src, "ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("copy missing: %v", err)
+	}
+}
+
+func TestNopClose(t *testing.T) {
+	f := NewMemFileSize(10)
+	nc := NopClose(f)
+	if err := nc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The underlying file survives the wrapper's Close.
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatalf("underlying closed: %v", err)
+	}
+}

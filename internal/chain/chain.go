@@ -1,0 +1,229 @@
+// Package chain implements the cache placement logic of §6, including
+// Algorithm 1 ("Chaining to a proper cache VMI"): given a compute node, the
+// storage node and a base VMI, decide which cache image a new CoW image
+// should chain to — preferring a local cache, then a storage-node cache
+// (promoted from its disk to tmpfs if needed), and otherwise creating a new
+// cache locally that is copied to the storage node on VM shutdown.
+package chain
+
+import (
+	"fmt"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/core"
+	"vmicache/internal/qcow"
+)
+
+// ComputeNode is a compute node's view for the planner: its cache store
+// (local disk) and the LRU pool bounding the space caches may use there.
+type ComputeNode struct {
+	// Name qualifies this node's store in the namespace.
+	Name string
+	// Store holds this node's cache images.
+	Store backend.Store
+	// Pool bounds the cache bytes on this node (§3.4 eviction).
+	Pool *core.Pool
+}
+
+// StorageNode is the storage node's view: its memory (tmpfs) store with an
+// LRU pool, plus its disk store where caches may also persist.
+type StorageNode struct {
+	MemName  string
+	Mem      backend.Store
+	MemPool  *core.Pool
+	DiskName string
+	Disk     backend.Store
+}
+
+// Planner executes Algorithm 1 against a namespace in which all the stores
+// are registered.
+type Planner struct {
+	NS *core.Namespace
+
+	// Quota and ClusterBits parameterise newly created caches.
+	Quota       int64
+	ClusterBits int
+}
+
+// Plan is the outcome of Algorithm 1 for one VM start.
+type Plan struct {
+	// Backing is the image the CoW image must chain to.
+	Backing core.Locator
+
+	// Created reports whether a new cache image was created.
+	Created bool
+
+	// Warm reports whether the returned image already holds the boot
+	// working set.
+	Warm bool
+
+	// CopyToStorageOnShutdown is set when the freshly created cache must
+	// be copied to the storage node's memory after the VM shuts down
+	// (the last branch of Algorithm 1).
+	CopyToStorageOnShutdown bool
+
+	// PromotedFromDisk is set when a storage-disk cache was copied into
+	// the storage node's tmpfs ("if Cache_base is on disk then copy
+	// Base_cache to tmpfs").
+	PromotedFromDisk bool
+}
+
+// cacheNameFor derives the conventional cache image name for a base VMI.
+func cacheNameFor(base core.Locator) string { return base.Name + ".cache" }
+
+// ChainFor runs Algorithm 1 for one (compute node, storage node, base VMI)
+// triple and returns the plan. Side effects: it may promote a cache to the
+// storage node's tmpfs and may create new cache images on the compute node.
+func (pl *Planner) ChainFor(c *ComputeNode, s *StorageNode, base core.Locator) (*Plan, error) {
+	cacheName := cacheNameFor(base)
+	baseSize, err := core.VirtualSizeOf(pl.NS, base)
+	if err != nil {
+		return nil, fmt.Errorf("chain: sizing base %s: %w", base, err)
+	}
+	quota := pl.Quota
+	if quota == 0 {
+		quota = baseSize
+	}
+	bits := pl.ClusterBits
+	if bits == 0 {
+		bits = qcow.CacheClusterBits
+	}
+
+	// "if Cache_base exists in C then return Cache_base"
+	if c.Pool.Lookup(cacheName) && core.Exists(pl.NS, core.Locator{Store: c.Name, Name: cacheName}) {
+		return &Plan{
+			Backing: core.Locator{Store: c.Name, Name: cacheName},
+			Warm:    true,
+		}, nil
+	}
+
+	// "if Cache_base exists in S then ..."
+	inMem := core.Exists(pl.NS, core.Locator{Store: s.MemName, Name: cacheName})
+	onDisk := core.Exists(pl.NS, core.Locator{Store: s.DiskName, Name: cacheName})
+	if inMem || onDisk {
+		plan := &Plan{Warm: true}
+		if !inMem {
+			// "if Cache_base is on disk then copy Base_cache to
+			// tmpfs"
+			moved, err := core.TransferCache(pl.NS,
+				core.Locator{Store: s.MemName, Name: cacheName},
+				core.Locator{Store: s.DiskName, Name: cacheName})
+			if err != nil {
+				return nil, fmt.Errorf("chain: promoting %s to tmpfs: %w", cacheName, err)
+			}
+			s.MemPool.Add(cacheName, moved) //nolint:errcheck // pool eviction side effects only
+			plan.PromotedFromDisk = true
+		} else {
+			s.MemPool.Lookup(cacheName) // refresh recency
+		}
+		// "Create NewCache_base on C; Chain NewCache_base to
+		// Cache_base; return NewCache_base"
+		newCache := core.Locator{Store: c.Name, Name: cacheName}
+		err := core.CreateCache(pl.NS, newCache,
+			core.Locator{Store: s.MemName, Name: cacheName}, baseSize, quota, bits)
+		if err != nil {
+			return nil, fmt.Errorf("chain: creating local cache over storage cache: %w", err)
+		}
+		pl.trackLocal(c, cacheName)
+		plan.Backing = newCache
+		plan.Created = true
+		return plan, nil
+	}
+
+	// "Create Cache_base on C; Chain Cache_base to Base; Copy Cache_base
+	// to S on VM shutdown; return Cache_base"
+	newCache := core.Locator{Store: c.Name, Name: cacheName}
+	if err := core.CreateCache(pl.NS, newCache, base, baseSize, quota, bits); err != nil {
+		return nil, fmt.Errorf("chain: creating cold cache: %w", err)
+	}
+	pl.trackLocal(c, cacheName)
+	return &Plan{
+		Backing:                 newCache,
+		Created:                 true,
+		CopyToStorageOnShutdown: true,
+	}, nil
+}
+
+// trackLocal registers a (possibly still cold) cache in the node's pool,
+// evicting older cache files from the node's store when over budget.
+func (pl *Planner) trackLocal(c *ComputeNode, cacheName string) {
+	size, err := func() (int64, error) {
+		st, err := pl.NS.Store(c.Name)
+		if err != nil {
+			return 0, err
+		}
+		return st.Stat(cacheName)
+	}()
+	if err != nil {
+		return
+	}
+	if c.Pool.OnEvict == nil {
+		store, serr := pl.NS.Store(c.Name)
+		if serr == nil {
+			c.Pool.OnEvict = func(name string, sz int64) {
+				store.Remove(name) //nolint:errcheck // eviction is best-effort
+			}
+		}
+	}
+	c.Pool.Add(cacheName, size) //nolint:errcheck // eviction side effects only
+}
+
+// OnShutdown finalises a plan after the VM stops: if the plan called for it,
+// the (now warm) cache is copied into the storage node's memory and
+// registered in its pool. The compute node's pool entry is refreshed with
+// the final size.
+func (pl *Planner) OnShutdown(c *ComputeNode, s *StorageNode, base core.Locator, plan *Plan) error {
+	cacheName := cacheNameFor(base)
+	if st, err := pl.NS.Store(c.Name); err == nil {
+		if size, err := st.Stat(cacheName); err == nil {
+			c.Pool.Add(cacheName, size) //nolint:errcheck
+		}
+	}
+	if !plan.CopyToStorageOnShutdown {
+		return nil
+	}
+	moved, err := core.TransferCache(pl.NS,
+		core.Locator{Store: s.MemName, Name: cacheName},
+		core.Locator{Store: c.Name, Name: cacheName})
+	if err != nil {
+		return fmt.Errorf("chain: shutdown copy of %s: %w", cacheName, err)
+	}
+	if s.MemPool.OnEvict == nil {
+		s.MemPool.OnEvict = func(name string, sz int64) {
+			s.Mem.Remove(name) //nolint:errcheck
+		}
+	}
+	s.MemPool.Add(cacheName, moved) //nolint:errcheck
+	return nil
+}
+
+// Recommendation summarises §6's placement advice for a deployment.
+type Recommendation struct {
+	Placement string
+	Reasons   []string
+}
+
+// Recommend returns the cache placement §6 argues for: with a network fast
+// enough for the on-demand boot workload, storage-node memory alone is "the
+// superior solution"; otherwise caches belong on both compute-node disks and
+// storage memory, chained by Algorithm 1.
+func Recommend(networkHandlesBootStorms bool) Recommendation {
+	if networkHandlesBootStorms {
+		return Recommendation{
+			Placement: "storage-memory",
+			Reasons: []string{
+				"compute nodes reserve no disk space for caches",
+				"fewer security concerns about cached VMI content on compute nodes",
+				"storage memory used exactly for transferring VMI blocks",
+				"a cache-aware scheduler can treat all compute nodes equally",
+			},
+		}
+	}
+	return Recommendation{
+		Placement: "both (Algorithm 1)",
+		Reasons: []string{
+			"compute-node caches avoid the network bottleneck",
+			"storage-memory caches still avoid the storage-disk bottleneck for nodes without a local cache",
+		},
+	}
+}

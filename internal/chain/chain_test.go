@@ -1,0 +1,322 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/boot"
+	"vmicache/internal/core"
+	"vmicache/internal/qcow"
+)
+
+const mb = 1 << 20
+
+type fixture struct {
+	ns      *core.Namespace
+	compute *ComputeNode
+	storage *StorageNode
+	base    core.Locator
+	planner *Planner
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	nfs := backend.NewMemStore()
+	nodeDisk := backend.NewMemStore()
+	sMem := backend.NewMemStore()
+
+	ns := core.NewNamespace("nfs", nfs)
+	ns.Register("node0", nodeDisk)
+	ns.Register("smem", sMem)
+
+	base := core.Locator{Store: "nfs", Name: "centos.img"}
+	content := boot.PatternSource{Seed: 5, N: 8 * mb}
+	if err := core.CreateBase(ns, base, 8*mb, 16, content); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		ns: ns,
+		compute: &ComputeNode{
+			Name: "node0", Store: nodeDisk, Pool: core.NewPool(64 * mb),
+		},
+		storage: &StorageNode{
+			MemName: "smem", Mem: sMem, MemPool: core.NewPool(64 * mb),
+			DiskName: "nfs", Disk: nfs,
+		},
+		base:    base,
+		planner: &Planner{NS: ns, Quota: 4 * mb},
+	}
+}
+
+// bootFrom opens the planned chain under a fresh CoW and replays some reads
+// to warm whatever cache the plan returned.
+func (f *fixture) bootFrom(t *testing.T, plan *Plan, cowName string) {
+	t.Helper()
+	cow := core.Locator{Store: "node0", Name: cowName}
+	if err := core.CreateCoW(f.ns, cow, plan.Backing, 8*mb, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.OpenChain(f.ns, cow, core.ChainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	if _, err := core.Warm(c, []core.Span{{Off: 0, Len: 256 << 10}, {Off: 2 * mb, Len: 128 << 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1ColdStart(t *testing.T) {
+	f := newFixture(t)
+	plan, err := f.planner.ChainFor(f.compute, f.storage, f.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No cache anywhere: last branch — create locally, copy to S later.
+	if !plan.Created || plan.Warm || !plan.CopyToStorageOnShutdown {
+		t.Fatalf("cold plan: %+v", plan)
+	}
+	if plan.Backing.Store != "node0" || !strings.HasSuffix(plan.Backing.Name, ".cache") {
+		t.Fatalf("backing: %v", plan.Backing)
+	}
+	f.bootFrom(t, plan, "vm0.cow")
+	if err := f.planner.OnShutdown(f.compute, f.storage, f.base, plan); err != nil {
+		t.Fatal(err)
+	}
+	// The warm cache must now exist in the storage node's memory.
+	if !core.Exists(f.ns, core.Locator{Store: "smem", Name: "centos.img.cache"}) {
+		t.Fatal("cache not copied to storage memory on shutdown")
+	}
+	if !f.storage.MemPool.Contains("centos.img.cache") {
+		t.Fatal("storage pool not tracking the cache")
+	}
+}
+
+func TestAlgorithm1LocalHit(t *testing.T) {
+	f := newFixture(t)
+	plan1, err := f.planner.ChainFor(f.compute, f.storage, f.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.bootFrom(t, plan1, "vm0.cow")
+	if err := f.planner.OnShutdown(f.compute, f.storage, f.base, plan1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second VM on the same node: first branch — reuse the local cache.
+	plan2, err := f.planner.ChainFor(f.compute, f.storage, f.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Created || !plan2.Warm || plan2.CopyToStorageOnShutdown {
+		t.Fatalf("local-hit plan: %+v", plan2)
+	}
+	if plan2.Backing.Store != "node0" {
+		t.Fatalf("backing should be local: %v", plan2.Backing)
+	}
+	// And it must be bootable with zero base traffic for warm ranges.
+	var counters backend.Counters
+	cow := core.Locator{Store: "node0", Name: "vm1.cow"}
+	if err := core.CreateCoW(f.ns, cow, plan2.Backing, 8*mb, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.OpenChain(f.ns, cow, core.ChainOpts{
+		WrapFile: func(loc core.Locator, fl backend.File, depth int) backend.File {
+			if loc.Name == "centos.img" {
+				return backend.NewCountingFile(fl, &counters)
+			}
+			return fl
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	counters.Reset()
+	buf := make([]byte, 256<<10)
+	if err := backend.ReadFull(c, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if counters.ReadBytes.Load() != 0 {
+		t.Fatalf("warm local cache pulled %d bytes from base", counters.ReadBytes.Load())
+	}
+}
+
+func TestAlgorithm1StorageHitCreatesChainedCache(t *testing.T) {
+	f := newFixture(t)
+	// Warm the storage-memory cache via node0.
+	plan1, err := f.planner.ChainFor(f.compute, f.storage, f.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.bootFrom(t, plan1, "vm0.cow")
+	if err := f.planner.OnShutdown(f.compute, f.storage, f.base, plan1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different node without a local cache: second branch.
+	node1Disk := backend.NewMemStore()
+	f.ns.Register("node1", node1Disk)
+	node1 := &ComputeNode{Name: "node1", Store: node1Disk, Pool: core.NewPool(64 * mb)}
+	plan2, err := f.planner.ChainFor(node1, f.storage, f.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan2.Created || !plan2.Warm || plan2.CopyToStorageOnShutdown {
+		t.Fatalf("storage-hit plan: %+v", plan2)
+	}
+	if plan2.Backing.Store != "node1" {
+		t.Fatalf("new cache should live on node1: %v", plan2.Backing)
+	}
+	// The new local cache chains to the storage-memory cache: opening the
+	// chain resolves node1 cache -> smem cache -> base.
+	cow := core.Locator{Store: "node1", Name: "vm2.cow"}
+	if err := core.CreateCoW(f.ns, cow, plan2.Backing, 8*mb, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.OpenChain(f.ns, cow, core.ChainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()         //nolint:errcheck
+	if len(c.Images) != 4 { // cow -> node1 cache -> smem cache -> base
+		t.Fatalf("chain depth = %d, want 4 (%v)", len(c.Images), c.Locators)
+	}
+	if !c.Images[1].IsCache() || !c.Images[2].IsCache() {
+		t.Fatal("expected two cache images in the chain")
+	}
+	// Warm content flows down without touching the base.
+	var counters backend.Counters
+	c.Close() //nolint:errcheck
+	c, err = core.OpenChain(f.ns, cow, core.ChainOpts{
+		WrapFile: func(loc core.Locator, fl backend.File, depth int) backend.File {
+			if loc.Name == "centos.img" {
+				return backend.NewCountingFile(fl, &counters)
+			}
+			return fl
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	counters.Reset()
+	buf := make([]byte, 128<<10)
+	if err := backend.ReadFull(c, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if counters.ReadBytes.Load() != 0 {
+		t.Fatalf("storage-cache-backed read pulled %d bytes from base", counters.ReadBytes.Load())
+	}
+	// Verify content correctness end to end.
+	want := boot.PatternSource{Seed: 5, N: 8 * mb}.At(0, 128<<10)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("content mismatch at byte %d", i)
+		}
+	}
+}
+
+func TestAlgorithm1PromotesDiskCacheToTmpfs(t *testing.T) {
+	f := newFixture(t)
+	// Place a warm cache on the storage node's DISK (nfs store).
+	diskCache := core.Locator{Store: "nfs", Name: "centos.img.cache"}
+	if err := core.CreateCache(f.ns, diskCache, f.base, 8*mb, 4*mb, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.OpenChain(f.ns, diskCache, core.ChainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Warm(c, []core.Span{{Off: 0, Len: 64 << 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := f.planner.ChainFor(f.compute, f.storage, f.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.PromotedFromDisk {
+		t.Fatalf("plan did not promote: %+v", plan)
+	}
+	if !core.Exists(f.ns, core.Locator{Store: "smem", Name: "centos.img.cache"}) {
+		t.Fatal("cache not in tmpfs after promotion")
+	}
+	if !plan.Created || plan.Backing.Store != "node0" {
+		t.Fatalf("plan: %+v", plan)
+	}
+}
+
+func TestPlannerDefaultsAndQuota(t *testing.T) {
+	f := newFixture(t)
+	f.planner.Quota = 0       // default: base size
+	f.planner.ClusterBits = 0 // default: 512 B
+	plan, err := f.planner.ChainFor(f.compute, f.storage, f.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.ns.Store(plan.Backing.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := st.Open(plan.Backing.Name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := qcow.Open(fl, qcow.OpenOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.ClusterSize() != 512 {
+		t.Fatalf("default cache cluster size = %d", img.ClusterSize())
+	}
+	if img.Quota() != 8*mb {
+		t.Fatalf("default quota = %d", img.Quota())
+	}
+}
+
+func TestNodePoolEvictsOldCaches(t *testing.T) {
+	f := newFixture(t)
+	f.compute.Pool = core.NewPool(5 << 10) // room for ~two empty caches
+	// Create caches for three bases; pool must evict.
+	for i, name := range []string{"a.img", "b.img", "c.img"} {
+		base := core.Locator{Store: "nfs", Name: name}
+		if err := core.CreateBase(f.ns, base, mb, 16, boot.PatternSource{Seed: int64(i), N: mb}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.planner.ChainFor(f.compute, f.storage, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.compute.Pool.Len() >= 3 {
+		t.Fatalf("pool kept all %d caches despite tiny budget", f.compute.Pool.Len())
+	}
+	// Evicted cache files must be gone from the node store.
+	var present int
+	for _, name := range []string{"a.img.cache", "b.img.cache", "c.img.cache"} {
+		if core.Exists(f.ns, core.Locator{Store: "node0", Name: name}) {
+			present++
+		}
+	}
+	if present != f.compute.Pool.Len() {
+		t.Fatalf("store has %d caches, pool tracks %d", present, f.compute.Pool.Len())
+	}
+}
+
+func TestRecommendation(t *testing.T) {
+	fast := Recommend(true)
+	if fast.Placement != "storage-memory" || len(fast.Reasons) != 4 {
+		t.Fatalf("fast-network recommendation: %+v", fast)
+	}
+	slow := Recommend(false)
+	if slow.Placement == fast.Placement || len(slow.Reasons) == 0 {
+		t.Fatalf("slow-network recommendation: %+v", slow)
+	}
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/boot"
+	"vmicache/internal/qcow"
+	"vmicache/internal/sim"
+	"vmicache/internal/simdisk"
+	"vmicache/internal/simnet"
+)
+
+// storageNode models the single storage node of the testbed: an NFS-like
+// export of the base images from its RAID disks (front-ended by the OS page
+// cache), a tmpfs area for cache images, and the shared network link every
+// compute node's traffic funnels through.
+type storageNode struct {
+	eng       *sim.Engine
+	p         Params
+	link      *simnet.Link
+	disk      *simdisk.Disk
+	mem       *simdisk.Mem
+	pageCache *simdisk.PageCache
+
+	baseTraffic      int64
+	cacheTransferred int64
+
+	// warmCaches[v] is the shared, read-only warm cache container for
+	// VMI v (built by a previous boot, §3.2); warmSizes its file size.
+	warmCaches []*backend.MemFile
+	warmSizes  []int64
+}
+
+func newStorageNode(eng *sim.Engine, lp simnet.LinkParams, p Params) *storageNode {
+	return &storageNode{
+		eng:       eng,
+		p:         p,
+		link:      simnet.NewLink(eng, lp),
+		disk:      simdisk.NewDisk(eng, "storage-disk", simdisk.DAS4StorageRAID()),
+		mem:       simdisk.NewMem(eng, "storage-tmpfs", simdisk.DAS4Memory()),
+		pageCache: simdisk.NewPageCache(p.PageCacheBytes, 64<<10),
+	}
+}
+
+// profileFor returns VMI v's guest profile (heterogeneous clusters cycle
+// through Params.Profiles).
+func (s *storageNode) profileFor(v int) boot.Profile {
+	return s.p.Profiles[v%len(s.p.Profiles)]
+}
+
+// baseSource returns VMI v's content generator. Content differs per VMI
+// ("64 identical but independent copies" differ in placement, which is what
+// matters to disk and page cache: distinct files).
+func (s *storageNode) baseSource(v int) boot.PatternSource {
+	return boot.PatternSource{Seed: s.p.Seed*7919 + int64(v), N: s.profileFor(v).ImageSize}
+}
+
+func (s *storageNode) baseFileName(v int) string { return fmt.Sprintf("base-%d", v) }
+
+// serveBase charges one remote read of VMI v's base image: page-cache
+// split, disk or memory service, then the shared link and request latency.
+func (s *storageNode) serveBase(p *sim.Proc, v int, off, n int64) {
+	hit, miss := s.pageCache.Touch(s.baseFileName(v), off, n)
+	if miss > 0 {
+		s.disk.Read(p, miss, true)
+	}
+	if hit > 0 {
+		s.mem.Access(p, hit)
+	}
+	s.link.Transfer(p, n)
+	s.baseTraffic += n
+}
+
+// serveCacheRead charges one remote read of a warm cache image held in the
+// storage node's tmpfs (Fig. 13 warm path: no disk involved).
+func (s *storageNode) serveCacheRead(p *sim.Proc, n int64) {
+	s.mem.Access(p, n)
+	s.link.Transfer(p, n)
+}
+
+// receiveCacheTransfer charges shipping a freshly created cache image back
+// into the storage node's memory (Fig. 13 cold path). The transfer time is
+// part of the creator's boot time (§5.3.2).
+func (s *storageNode) receiveCacheTransfer(p *sim.Proc, size int64) {
+	s.link.Transfer(p, size)
+	s.mem.Access(p, size)
+	s.cacheTransferred += size
+}
+
+// prepareWarmCaches builds one warm cache per VMI by replaying the boot's
+// read spans against a fresh cache image backed directly by the VMI
+// content. This happens outside simulated time — the paper's system created
+// these caches during an earlier registration or first boot.
+func (s *storageNode) prepareWarmCaches(workloads []*boot.Workload) error {
+	s.warmCaches = make([]*backend.MemFile, s.p.VMIs)
+	s.warmSizes = make([]int64, s.p.VMIs)
+	for v := 0; v < s.p.VMIs; v++ {
+		w := workloads[v]
+		f := backend.NewMemFile()
+		img, err := qcow.Create(backend.NopClose(f), qcow.CreateOpts{
+			Size:        s.profileFor(v).ImageSize,
+			ClusterBits: s.p.CacheClusterBits,
+			BackingFile: s.baseFileName(v),
+			CacheQuota:  s.p.CacheQuota,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: warm cache for VMI %d: %w", v, err)
+		}
+		img.SetBacking(s.baseSource(v))
+		buf := make([]byte, 64<<10)
+		for _, span := range w.ReadSpans() {
+			b := buf
+			if span.Len > int64(len(b)) {
+				b = make([]byte, span.Len)
+			}
+			if err := backend.ReadFull(img, b[:span.Len], span.Off); err != nil {
+				return fmt.Errorf("cluster: warming VMI %d at %d+%d: %w", v, span.Off, span.Len, err)
+			}
+		}
+		if err := img.Close(); err != nil {
+			return err
+		}
+		s.warmCaches[v] = f
+		sz, err := f.Size()
+		if err != nil {
+			return err
+		}
+		s.warmSizes[v] = sz
+	}
+	return nil
+}
+
+// warmCacheSize reports the first warm cache's physical size (Table 2's
+// metric), or 0 when no warm caches exist.
+func (s *storageNode) warmCacheSize() int64 {
+	if len(s.warmSizes) == 0 {
+		return 0
+	}
+	return s.warmSizes[0]
+}

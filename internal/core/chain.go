@@ -1,0 +1,246 @@
+// Package core is the VMI-cache orchestration layer: it builds the image
+// chains of the paper (base ← cache ← CoW, Fig. 4), implements the two-step
+// qemu-img workflow of §4.4, warms caches, transfers them between media
+// (Fig. 13), and pools them with LRU eviction (§3.4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/qcow"
+)
+
+// ErrChainCycle is returned when backing-file names form a loop.
+var ErrChainCycle = errors.New("core: backing chain contains a cycle")
+
+// ErrChainTooDeep guards against absurd chains.
+var ErrChainTooDeep = errors.New("core: backing chain too deep")
+
+const maxChainDepth = 16
+
+// Locator names an image on a medium: "store:name". Stores are registered
+// in a Namespace. A bare name refers to the namespace's default store —
+// matching the paper's deployments where most images sit on the NFS export.
+type Locator struct {
+	Store string
+	Name  string
+}
+
+// ParseLocator splits "store:name" (or "name") into its parts.
+func ParseLocator(s string) Locator {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return Locator{Store: s[:i], Name: s[i+1:]}
+	}
+	return Locator{Name: s}
+}
+
+// String renders the locator.
+func (l Locator) String() string {
+	if l.Store == "" {
+		return l.Name
+	}
+	return l.Store + ":" + l.Name
+}
+
+// Namespace maps store names to Stores so backing-file strings embedded in
+// image headers ("nfs:centos.img") resolve across media.
+type Namespace struct {
+	stores map[string]backend.Store
+	def    string
+}
+
+// NewNamespace returns a namespace whose bare names resolve in def.
+func NewNamespace(defName string, def backend.Store) *Namespace {
+	ns := &Namespace{stores: make(map[string]backend.Store), def: defName}
+	ns.stores[defName] = def
+	return ns
+}
+
+// Register adds a named store.
+func (ns *Namespace) Register(name string, st backend.Store) { ns.stores[name] = st }
+
+// Store resolves a store name ("" means the default).
+func (ns *Namespace) Store(name string) (backend.Store, error) {
+	if name == "" {
+		name = ns.def
+	}
+	st, ok := ns.stores[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown store %q", name)
+	}
+	return st, nil
+}
+
+// Default reports the default store name.
+func (ns *Namespace) Default() string { return ns.def }
+
+// ChainOpts configures OpenChain.
+type ChainOpts struct {
+	// TopReadOnly opens the whole chain without write permission.
+	TopReadOnly bool
+
+	// WrapFile, when non-nil, wraps each opened container before the
+	// image is parsed. The cluster simulator uses this to attach traffic
+	// accounting and simulated-time costs per medium.
+	WrapFile func(loc Locator, f backend.File, depth int) backend.File
+}
+
+// Chain is an open image chain, topmost image first. Guest I/O goes through
+// Top; reads recurse down the chain inside the image layer.
+type Chain struct {
+	Images   []*qcow.Image // [0] = top
+	Locators []Locator
+	rawTail  io.Closer // closer for a raw base container, if any
+}
+
+// Top returns the guest-facing image.
+func (c *Chain) Top() *qcow.Image { return c.Images[0] }
+
+// CacheImage returns the first cache image in the chain (nil if none).
+func (c *Chain) CacheImage() *qcow.Image {
+	for _, img := range c.Images {
+		if img.IsCache() {
+			return img
+		}
+	}
+	return nil
+}
+
+// ReadAt reads guest data through the top of the chain.
+func (c *Chain) ReadAt(p []byte, off int64) (int, error) { return c.Top().ReadAt(p, off) }
+
+// WriteAt writes guest data to the top of the chain.
+func (c *Chain) WriteAt(p []byte, off int64) (int, error) { return c.Top().WriteAt(p, off) }
+
+// Size reports the virtual disk size.
+func (c *Chain) Size() int64 { return c.Top().Size() }
+
+// Sync flushes every image in the chain.
+func (c *Chain) Sync() error {
+	for _, img := range c.Images {
+		if err := img.Sync(); err != nil && !errors.Is(err, qcow.ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every image top-down, then any raw tail.
+func (c *Chain) Close() error {
+	var first error
+	for _, img := range c.Images {
+		if err := img.Close(); err != nil && first == nil && !errors.Is(err, qcow.ErrClosed) {
+			first = err
+		}
+	}
+	if c.rawTail != nil {
+		if err := c.rawTail.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// OpenChain opens the image at loc and its full backing chain.
+//
+// It reproduces the permission handling described in §4.3: every backing
+// image is first opened read-write (a cache image needs write permission to
+// warm itself); once parsed, an image that turns out not to be a cache is
+// re-opened read-only. A base whose container is not an image file at all is
+// attached as a raw source.
+func OpenChain(ns *Namespace, loc Locator, opts ChainOpts) (*Chain, error) {
+	c := &Chain{}
+	seen := map[string]bool{}
+	cur := loc
+	for depth := 0; ; depth++ {
+		if depth >= maxChainDepth {
+			c.Close() //nolint:errcheck // unwinding partial chain
+			return nil, ErrChainTooDeep
+		}
+		key := cur.String()
+		if seen[key] {
+			c.Close() //nolint:errcheck
+			return nil, fmt.Errorf("%w: %s", ErrChainCycle, key)
+		}
+		seen[key] = true
+
+		st, err := ns.Store(cur.Store)
+		if err != nil {
+			c.Close() //nolint:errcheck
+			return nil, err
+		}
+		// First open read-write unless the caller wants the very top
+		// read-only too ("the default flag for the backing images is
+		// read-only ... we first open the backing image with read and
+		// write permissions").
+		ro := opts.TopReadOnly && depth == 0
+		f, err := st.Open(cur.Name, ro)
+		if err != nil {
+			c.Close() //nolint:errcheck
+			return nil, fmt.Errorf("core: opening %s: %w", key, err)
+		}
+		if opts.WrapFile != nil {
+			f = opts.WrapFile(cur, f, depth)
+		}
+		img, err := qcow.Open(f, qcow.OpenOpts{ReadOnly: ro})
+		if errors.Is(err, qcow.ErrBadMagic) && depth > 0 {
+			// Raw base image at the end of the chain.
+			sz, szErr := f.Size()
+			if szErr != nil {
+				f.Close() //nolint:errcheck
+				c.Close() //nolint:errcheck
+				return nil, szErr
+			}
+			c.Images[len(c.Images)-1].SetBacking(qcow.RawSource{R: f, N: sz})
+			c.rawTail = f
+			return c, nil
+		}
+		if err != nil {
+			f.Close() //nolint:errcheck
+			c.Close() //nolint:errcheck
+			return nil, fmt.Errorf("core: parsing %s: %w", key, err)
+		}
+		// "If we detect that the image is not a cache image, we re-open
+		// the image with read-only permission." (§4.3)
+		if depth > 0 && !img.IsCache() && !ro {
+			if err := img.Close(); err != nil {
+				c.Close() //nolint:errcheck
+				return nil, err
+			}
+			f, err = st.Open(cur.Name, true)
+			if err != nil {
+				c.Close() //nolint:errcheck
+				return nil, err
+			}
+			if opts.WrapFile != nil {
+				f = opts.WrapFile(cur, f, depth)
+			}
+			img, err = qcow.Open(f, qcow.OpenOpts{ReadOnly: true})
+			if err != nil {
+				f.Close() //nolint:errcheck
+				c.Close() //nolint:errcheck
+				return nil, err
+			}
+		}
+		if len(c.Images) > 0 {
+			c.Images[len(c.Images)-1].SetBacking(img)
+		}
+		c.Images = append(c.Images, img)
+		c.Locators = append(c.Locators, cur)
+
+		bn := img.BackingName()
+		if bn == "" {
+			return c, nil
+		}
+		next := ParseLocator(bn)
+		if next.Store == "" {
+			// Relative backing names resolve in the same store.
+			next.Store = cur.Store
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,153 @@
+package dedup
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vmicache/internal/backend"
+)
+
+// Compressed cache transfer (§8: "investigate data compression and
+// deduplication techniques ... in the context of VMI caches"). Cache images
+// travel between compute nodes and the storage node's memory (Fig. 13);
+// compressing the stream cuts the network cost of the cold path's transfer.
+
+// countingWriter tallies bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// CompressStream deflates length bytes of src into w. Returns the
+// compressed size. The stream is framed with the uncompressed length so
+// DecompressStream can pre-size its target.
+func CompressStream(w io.Writer, src io.ReaderAt, length int64) (int64, error) {
+	cw := &countingWriter{w: w}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(length))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	fw, err := flate.NewWriter(cw, flate.BestSpeed)
+	if err != nil {
+		return cw.n, err
+	}
+	buf := make([]byte, 256<<10)
+	for off := int64(0); off < length; {
+		n := int64(len(buf))
+		if rem := length - off; rem < n {
+			n = rem
+		}
+		if err := backend.ReadFull(src, buf[:n], off); err != nil {
+			return cw.n, err
+		}
+		if _, err := fw.Write(buf[:n]); err != nil {
+			return cw.n, err
+		}
+		off += n
+	}
+	if err := fw.Close(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// DecompressStream inflates a CompressStream-framed stream into dst and
+// returns the uncompressed length.
+func DecompressStream(dst io.WriterAt, r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, err
+	}
+	length := int64(binary.BigEndian.Uint64(hdr[:]))
+	fr := flate.NewReader(br)
+	defer fr.Close() //nolint:errcheck // flate readers cannot fail on close
+	buf := make([]byte, 256<<10)
+	var off int64
+	for off < length {
+		n, err := fr.Read(buf)
+		if n > 0 {
+			if err := backend.WriteFull(dst, buf[:n], off); err != nil {
+				return off, err
+			}
+			off += int64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return off, err
+		}
+	}
+	if off != length {
+		return off, fmt.Errorf("dedup: short stream: %d of %d bytes", off, length)
+	}
+	return off, nil
+}
+
+// TransferCompressed copies a file between stores through a deflate stream
+// (e.g. a warm cache from a compute node into the storage node's memory).
+// Returns (rawBytes, wireBytes): the transfer volume with and without
+// compression — the quantity the Fig. 13/14 cold path pays.
+func TransferCompressed(dst backend.Store, dstName string, src backend.Store, srcName string) (raw, wire int64, err error) {
+	in, err := src.Open(srcName, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer in.Close() //nolint:errcheck // read-only handle
+	size, err := in.Size()
+	if err != nil {
+		return 0, 0, err
+	}
+	out, err := dst.Create(dstName)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Compress into an in-memory pipe buffer sized by the stream itself;
+	// for the library's purposes the wire is a byte slice.
+	var pipe sliceBuffer
+	wire, err = CompressStream(&pipe, in, size)
+	if err != nil {
+		out.Close() //nolint:errcheck
+		return size, wire, err
+	}
+	if _, err := DecompressStream(out, &pipe); err != nil {
+		out.Close() //nolint:errcheck
+		return size, wire, err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close() //nolint:errcheck
+		return size, wire, err
+	}
+	return size, wire, out.Close()
+}
+
+// sliceBuffer is a minimal in-memory io.Writer + io.Reader.
+type sliceBuffer struct {
+	b []byte
+	r int
+}
+
+func (s *sliceBuffer) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (s *sliceBuffer) Read(p []byte) (int, error) {
+	if s.r >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.r:])
+	s.r += n
+	return n, nil
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Point is one (x, y) pair in a figure series, with an optional error bar.
+type Point struct {
+	X   float64
+	Y   float64
+	Err float64
+}
+
+// Series is one named curve of a paper figure ("Warm cache", "QCOW2", ...).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y, errBar float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Err: errBar})
+}
+
+// YAt returns the y value at the given x, or (0, false) if absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a reproduction of one paper figure: several series over a common
+// x axis, with labels. The harness prints it as aligned columns, one row per
+// x value — the same rows the paper plots.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure constructs an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, registers, and returns a new named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// xValues returns the sorted union of x values over all series.
+func (f *Figure) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+// WriteTo renders the figure as an aligned text table.
+func (f *Figure) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %20s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", f.YLabel)
+	for _, x := range f.xValues() {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, " %20.2f", y)
+			} else {
+				fmt.Fprintf(&b, " %20s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the figure table.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Table is a reproduction of one paper table: rows of labelled values.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable constructs a table with the given column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package nbd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is a minimal fixed-newstyle NBD client, used by tests and examples
+// to drive the server the way a hypervisor would.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	size     int64
+	readOnly bool
+	handle   uint64
+	closed   bool
+}
+
+// clientErrs maps NBD error numbers to errors.
+var clientErrs = map[uint32]error{
+	nbdEPERM:  errors.New("nbd: permission denied"),
+	nbdEIO:    errors.New("nbd: I/O error"),
+	nbdEINVAL: errors.New("nbd: invalid request"),
+}
+
+func nbdError(code uint32) error {
+	if code == 0 {
+		return nil
+	}
+	if err, ok := clientErrs[code]; ok {
+		return err
+	}
+	return fmt.Errorf("nbd: error %d", code)
+}
+
+// Dial connects to an NBD server and attaches the named export.
+func Dial(addr, export string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	if err := c.handshake(export); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake(export string) error {
+	be := binary.BigEndian
+	var greet [18]byte
+	if _, err := io.ReadFull(c.conn, greet[:]); err != nil {
+		return err
+	}
+	if be.Uint64(greet[0:]) != nbdMagic || be.Uint64(greet[8:]) != optMagic {
+		return errors.New("nbd: bad server greeting")
+	}
+	serverFlags := be.Uint16(greet[16:])
+	if serverFlags&flagFixedNewstyle == 0 {
+		return errors.New("nbd: server is not fixed-newstyle")
+	}
+	// Echo NO_ZEROES so the export reply is compact.
+	var cflags [4]byte
+	be.PutUint32(cflags[:], flagNoZeroes)
+	if _, err := c.conn.Write(cflags[:]); err != nil {
+		return err
+	}
+	// NBD_OPT_EXPORT_NAME.
+	opt := make([]byte, 16+len(export))
+	be.PutUint64(opt[0:], optMagic)
+	be.PutUint32(opt[8:], optExportName)
+	be.PutUint32(opt[12:], uint32(len(export)))
+	copy(opt[16:], export)
+	if _, err := c.conn.Write(opt); err != nil {
+		return err
+	}
+	var info [10]byte
+	if _, err := io.ReadFull(c.conn, info[:]); err != nil {
+		return fmt.Errorf("nbd: export %q rejected: %w", export, err)
+	}
+	c.size = int64(be.Uint64(info[0:]))
+	tflags := be.Uint16(info[8:])
+	c.readOnly = tflags&transmissionFlagReadOnly != 0
+	return nil
+}
+
+// Size reports the export's size.
+func (c *Client) Size() int64 { return c.size }
+
+// ReadOnly reports whether the export rejects writes.
+func (c *Client) ReadOnly() bool { return c.readOnly }
+
+// request performs one synchronous command round trip.
+func (c *Client) request(cmd uint16, off uint64, length uint32, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("nbd: client closed")
+	}
+	be := binary.BigEndian
+	c.handle++
+	var hdr [28]byte
+	be.PutUint32(hdr[0:], requestMagic)
+	be.PutUint16(hdr[6:], cmd)
+	be.PutUint64(hdr[8:], c.handle)
+	be.PutUint64(hdr[16:], off)
+	be.PutUint32(hdr[24:], length)
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 {
+		if _, err := c.conn.Write(payload); err != nil {
+			return nil, err
+		}
+	}
+	if cmd == cmdDisc {
+		return nil, nil // no reply for disconnect
+	}
+	var rep [16]byte
+	if _, err := io.ReadFull(c.conn, rep[:]); err != nil {
+		return nil, err
+	}
+	if be.Uint32(rep[0:]) != simpleReplyMagic {
+		return nil, errors.New("nbd: bad reply magic")
+	}
+	if be.Uint64(rep[8:]) != c.handle {
+		return nil, errors.New("nbd: reply handle mismatch")
+	}
+	if err := nbdError(be.Uint32(rep[4:])); err != nil {
+		return nil, err
+	}
+	if cmd == cmdRead {
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(c.conn, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return nil, nil
+}
+
+// ReadAt implements io.ReaderAt against the export.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > c.size {
+		return 0, errors.New("nbd: read out of range")
+	}
+	buf, err := c.request(cmdRead, uint64(off), uint32(len(p)), nil)
+	if err != nil {
+		return 0, err
+	}
+	copy(p, buf)
+	return len(p), nil
+}
+
+// WriteAt implements io.WriterAt against the export.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > c.size {
+		return 0, errors.New("nbd: write out of range")
+	}
+	if _, err := c.request(cmdWrite, uint64(off), uint32(len(p)), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Sync issues NBD_CMD_FLUSH.
+func (c *Client) Sync() error {
+	_, err := c.request(cmdFlush, 0, 0, nil)
+	return err
+}
+
+// Close disconnects cleanly.
+func (c *Client) Close() error {
+	c.request(cmdDisc, 0, 0, nil) //nolint:errcheck // best-effort goodbye
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// List queries the server's export names via NBD_OPT_LIST on a fresh
+// connection.
+func List(addr string) ([]string, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close() //nolint:errcheck // read-only negotiation probe
+	be := binary.BigEndian
+	var greet [18]byte
+	if _, err := io.ReadFull(conn, greet[:]); err != nil {
+		return nil, err
+	}
+	var cflags [4]byte
+	be.PutUint32(cflags[:], flagNoZeroes)
+	if _, err := conn.Write(cflags[:]); err != nil {
+		return nil, err
+	}
+	var opt [16]byte
+	be.PutUint64(opt[0:], optMagic)
+	be.PutUint32(opt[8:], optList)
+	if _, err := conn.Write(opt[:]); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		var rep [20]byte
+		if _, err := io.ReadFull(conn, rep[:]); err != nil {
+			return nil, err
+		}
+		if be.Uint64(rep[0:]) != repMagic {
+			return nil, errors.New("nbd: bad option reply magic")
+		}
+		typ := be.Uint32(rep[12:])
+		length := be.Uint32(rep[16:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return nil, err
+		}
+		switch typ {
+		case repServer:
+			if length < 4 {
+				return nil, errors.New("nbd: short list reply")
+			}
+			n := be.Uint32(payload)
+			if int(n)+4 > len(payload) {
+				return nil, errors.New("nbd: bad list reply")
+			}
+			names = append(names, string(payload[4:4+n]))
+		case repAck:
+			return names, nil
+		default:
+			return nil, fmt.Errorf("nbd: unexpected list reply type %#x", typ)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package nbd implements a Network Block Device server (fixed-newstyle
+// handshake) that exports VM image chains as block devices. It is this
+// repository's stand-in for the hypervisor's virtual disk attach path: a
+// real qemu or Linux kernel NBD client can connect to an export and boot
+// from a base←cache←CoW chain, exercising exactly the I/O path §4.2
+// describes for qemu-kvm's disk controller.
+package nbd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Protocol magics and constants (https://github.com/NetworkBlockDevice/nbd
+// doc/proto.md).
+const (
+	nbdMagic         = 0x4e42444d41474943 // "NBDMAGIC"
+	optMagic         = 0x49484156454f5054 // "IHAVEOPT"
+	repMagic         = 0x3e889045565a9
+	requestMagic     = 0x25609513
+	simpleReplyMagic = 0x67446698
+
+	flagFixedNewstyle = 1 << 0
+	flagNoZeroes      = 1 << 1
+
+	optExportName = 1
+	optAbort      = 2
+	optList       = 3
+
+	repAck       = 1
+	repServer    = 2
+	repErrUnsup  = 0x80000001 | 0
+	repFlagError = 1 << 31
+
+	cmdRead  = 0
+	cmdWrite = 1
+	cmdDisc  = 2
+	cmdFlush = 3
+	cmdTrim  = 4
+
+	transmissionFlagHasFlags  = 1 << 0
+	transmissionFlagReadOnly  = 1 << 1
+	transmissionFlagSendFlush = 1 << 2
+
+	// Error codes (errno-style).
+	nbdEPERM  = 1
+	nbdEIO    = 5
+	nbdEINVAL = 22
+
+	// maxRequestLen bounds a single I/O request.
+	maxRequestLen = 32 << 20
+)
+
+// Device is the block device surface an export serves.
+type Device interface {
+	io.ReaderAt
+	io.WriterAt
+	Size() int64
+	Sync() error
+}
+
+// Export describes one served device.
+type Export struct {
+	Name     string
+	Device   Device
+	ReadOnly bool
+}
+
+// Server serves NBD exports over TCP.
+type Server struct {
+	mu      sync.Mutex
+	exports map[string]Export
+	ln      net.Listener
+	closed  bool
+	conns   map[net.Conn]struct{}
+	logf    func(format string, args ...any)
+
+	// Stats
+	ReadOps  int64
+	WriteOps int64
+	FlushOps int64
+}
+
+// NewServer returns an empty server.
+func NewServer(logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		exports: make(map[string]Export),
+		conns:   make(map[net.Conn]struct{}),
+		logf:    logf,
+	}
+}
+
+// AddExport registers (or replaces) an export.
+func (s *Server) AddExport(e Export) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exports[e.Name] = e
+}
+
+// RemoveExport unregisters an export; running connections are unaffected.
+func (s *Server) RemoveExport(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.exports, name)
+}
+
+// exportNames lists registered exports.
+func (s *Server) exportNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.exports))
+	for n := range s.exports {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Listen binds addr and starts accepting; returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close() //nolint:errcheck
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			go s.serveConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close() //nolint:errcheck
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close() //nolint:errcheck
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	exp, noZeroes, err := s.handshake(conn)
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, errAborted) {
+			s.logf("nbd: handshake: %v", err)
+		}
+		return
+	}
+	if err := s.transmission(conn, exp, noZeroes); err != nil && !errors.Is(err, io.EOF) {
+		s.logf("nbd: transmission: %v", err)
+	}
+}
+
+var errAborted = errors.New("nbd: client aborted negotiation")
+
+// handshake performs the fixed-newstyle negotiation and returns the chosen
+// export.
+func (s *Server) handshake(conn net.Conn) (Export, bool, error) {
+	be := binary.BigEndian
+	var greet [18]byte
+	be.PutUint64(greet[0:], nbdMagic)
+	be.PutUint64(greet[8:], optMagic)
+	be.PutUint16(greet[16:], flagFixedNewstyle|flagNoZeroes)
+	if _, err := conn.Write(greet[:]); err != nil {
+		return Export{}, false, err
+	}
+	var cflags [4]byte
+	if _, err := io.ReadFull(conn, cflags[:]); err != nil {
+		return Export{}, false, err
+	}
+	noZeroes := be.Uint32(cflags[:])&flagNoZeroes != 0
+
+	for {
+		var hdr [16]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return Export{}, false, err
+		}
+		if be.Uint64(hdr[0:]) != optMagic {
+			return Export{}, false, fmt.Errorf("nbd: bad option magic %#x", be.Uint64(hdr[0:]))
+		}
+		opt := be.Uint32(hdr[8:])
+		length := be.Uint32(hdr[12:])
+		if length > 4096 {
+			return Export{}, false, fmt.Errorf("nbd: oversized option (%d bytes)", length)
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return Export{}, false, err
+		}
+
+		switch opt {
+		case optExportName:
+			name := string(data)
+			s.mu.Lock()
+			exp, ok := s.exports[name]
+			s.mu.Unlock()
+			if !ok {
+				// EXPORT_NAME has no error reply; the server
+				// must drop the connection.
+				return Export{}, false, fmt.Errorf("nbd: unknown export %q", name)
+			}
+			tflags := uint16(transmissionFlagHasFlags | transmissionFlagSendFlush)
+			if exp.ReadOnly {
+				tflags |= transmissionFlagReadOnly
+			}
+			reply := make([]byte, 10, 10+124)
+			be.PutUint64(reply[0:], uint64(exp.Device.Size()))
+			be.PutUint16(reply[8:], tflags)
+			if !noZeroes {
+				reply = append(reply, make([]byte, 124)...)
+			}
+			if _, err := conn.Write(reply); err != nil {
+				return Export{}, false, err
+			}
+			return exp, noZeroes, nil
+
+		case optAbort:
+			s.optReply(conn, opt, repAck, nil) //nolint:errcheck // client is leaving
+			return Export{}, false, errAborted
+
+		case optList:
+			for _, name := range s.exportNames() {
+				payload := make([]byte, 4+len(name))
+				be.PutUint32(payload, uint32(len(name)))
+				copy(payload[4:], name)
+				if err := s.optReply(conn, opt, repServer, payload); err != nil {
+					return Export{}, false, err
+				}
+			}
+			if err := s.optReply(conn, opt, repAck, nil); err != nil {
+				return Export{}, false, err
+			}
+
+		default:
+			if err := s.optReply(conn, opt, repErrUnsup|repFlagError, nil); err != nil {
+				return Export{}, false, err
+			}
+		}
+	}
+}
+
+func (s *Server) optReply(conn net.Conn, opt, typ uint32, payload []byte) error {
+	be := binary.BigEndian
+	hdr := make([]byte, 20)
+	be.PutUint64(hdr[0:], repMagic)
+	be.PutUint32(hdr[8:], opt)
+	be.PutUint32(hdr[12:], typ)
+	be.PutUint32(hdr[16:], uint32(len(payload)))
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		_, err := conn.Write(payload)
+		return err
+	}
+	return nil
+}
+
+// transmission runs the I/O phase until disconnect.
+func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
+	be := binary.BigEndian
+	var hdr [28]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return err
+		}
+		if be.Uint32(hdr[0:]) != requestMagic {
+			return fmt.Errorf("nbd: bad request magic %#x", be.Uint32(hdr[0:]))
+		}
+		cmd := be.Uint16(hdr[6:])
+		handle := be.Uint64(hdr[8:])
+		offset := be.Uint64(hdr[16:])
+		length := be.Uint32(hdr[24:])
+		if length > maxRequestLen {
+			return fmt.Errorf("nbd: oversized request (%d bytes)", length)
+		}
+
+		switch cmd {
+		case cmdRead:
+			buf := make([]byte, length)
+			var nbdErr uint32
+			if int64(offset)+int64(length) > exp.Device.Size() {
+				nbdErr = nbdEINVAL
+			} else if _, err := exp.Device.ReadAt(buf, int64(offset)); err != nil {
+				nbdErr = nbdEIO
+			}
+			s.mu.Lock()
+			s.ReadOps++
+			s.mu.Unlock()
+			if err := s.simpleReply(conn, handle, nbdErr); err != nil {
+				return err
+			}
+			if nbdErr == 0 {
+				if _, err := conn.Write(buf); err != nil {
+					return err
+				}
+			}
+
+		case cmdWrite:
+			buf := make([]byte, length)
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return err
+			}
+			var nbdErr uint32
+			switch {
+			case exp.ReadOnly:
+				nbdErr = nbdEPERM
+			case int64(offset)+int64(length) > exp.Device.Size():
+				nbdErr = nbdEINVAL
+			default:
+				if _, err := exp.Device.WriteAt(buf, int64(offset)); err != nil {
+					nbdErr = nbdEIO
+				}
+			}
+			s.mu.Lock()
+			s.WriteOps++
+			s.mu.Unlock()
+			if err := s.simpleReply(conn, handle, nbdErr); err != nil {
+				return err
+			}
+
+		case cmdFlush:
+			var nbdErr uint32
+			if err := exp.Device.Sync(); err != nil {
+				nbdErr = nbdEIO
+			}
+			s.mu.Lock()
+			s.FlushOps++
+			s.mu.Unlock()
+			if err := s.simpleReply(conn, handle, nbdErr); err != nil {
+				return err
+			}
+
+		case cmdDisc:
+			return nil
+
+		case cmdTrim:
+			// Discard is advisory; acknowledge without action.
+			if err := s.simpleReply(conn, handle, 0); err != nil {
+				return err
+			}
+
+		default:
+			if err := s.simpleReply(conn, handle, nbdEINVAL); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (s *Server) simpleReply(conn net.Conn, handle uint64, nbdErr uint32) error {
+	be := binary.BigEndian
+	var rep [16]byte
+	be.PutUint32(rep[0:], simpleReplyMagic)
+	be.PutUint32(rep[4:], nbdErr)
+	be.PutUint64(rep[8:], handle)
+	_, err := conn.Write(rep[:])
+	return err
+}

@@ -1,0 +1,262 @@
+package qcow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckResult summarises a consistency pass over an image, in the spirit of
+// `qemu-img check`.
+type CheckResult struct {
+	// Errors are fatal inconsistencies (entries pointing outside the
+	// file, refcount mismatches on referenced clusters).
+	Errors []string
+	// Leaks are clusters with a refcount but no referencing structure.
+	Leaks int
+	// AllocatedClusters counts reachable clusters of any kind.
+	AllocatedClusters int64
+	// DataClusters counts reachable guest-data clusters.
+	DataClusters int64
+}
+
+// OK reports whether the image is consistent (leaks allowed).
+func (r *CheckResult) OK() bool { return len(r.Errors) == 0 }
+
+// String renders the result in a human-readable form.
+func (r *CheckResult) String() string {
+	var b strings.Builder
+	if r.OK() {
+		fmt.Fprintf(&b, "No errors found. %d clusters allocated (%d data), %d leaked.\n",
+			r.AllocatedClusters, r.DataClusters, r.Leaks)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d errors:\n", len(r.Errors))
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// Check walks all metadata and cross-validates it against the refcounts.
+func (img *Image) Check() (*CheckResult, error) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return nil, ErrClosed
+	}
+	res := &CheckResult{}
+	fileSize, err := img.f.Size()
+	if err != nil {
+		return nil, err
+	}
+	totalClusters := ceilDiv(fileSize, img.ly.clusterSize)
+	expected := make(map[int64]int64) // cluster -> expected refcount
+
+	ref := func(off int64, what string) {
+		if off%img.ly.clusterSize != 0 {
+			res.Errors = append(res.Errors, fmt.Sprintf("%s at %#x is not cluster aligned", what, off))
+			return
+		}
+		c := off / img.ly.clusterSize
+		if c >= totalClusters {
+			res.Errors = append(res.Errors, fmt.Sprintf("%s at %#x lies beyond end of file", what, off))
+			return
+		}
+		expected[c]++
+	}
+
+	// Header cluster.
+	ref(0, "header")
+	// Refcount table clusters.
+	for i := int64(0); i < int64(img.hdr.RefTableClusters); i++ {
+		ref(int64(img.hdr.RefTableOffset)+i*img.ly.clusterSize, "refcount table")
+	}
+	// Refcount blocks.
+	for i, e := range img.refTable {
+		off := int64(e & entryOffsetMask)
+		if off != 0 {
+			ref(off, fmt.Sprintf("refcount block %d", i))
+		}
+	}
+	// L1 table clusters.
+	l1Clusters := ceilDiv(int64(img.hdr.L1Size)*l1EntrySize, img.ly.clusterSize)
+	for i := int64(0); i < l1Clusters; i++ {
+		ref(int64(img.hdr.L1TableOffset)+i*img.ly.clusterSize, "L1 table")
+	}
+	// L2 tables and data clusters.
+	for l1i, l1e := range img.l1 {
+		l2Off := int64(l1e & entryOffsetMask)
+		if l2Off == 0 {
+			continue
+		}
+		ref(l2Off, fmt.Sprintf("L2 table (L1[%d])", l1i))
+		t, err := img.loadL2(l2Off)
+		if err != nil {
+			return nil, err
+		}
+		for l2i, e := range t {
+			dOff := int64(e & entryOffsetMask)
+			if dOff == 0 {
+				continue
+			}
+			if e&entryCompressed != 0 {
+				// Compressed blobs pack several per cluster; the
+				// cluster's refcount counts its live blobs.
+				c := dOff / img.ly.clusterSize
+				if c >= totalClusters {
+					res.Errors = append(res.Errors,
+						fmt.Sprintf("compressed blob (L1[%d] L2[%d]) at %#x beyond end of file", l1i, l2i, dOff))
+				} else {
+					expected[c]++
+				}
+				res.DataClusters++
+				continue
+			}
+			ref(dOff, fmt.Sprintf("data cluster (L1[%d] L2[%d])", l1i, l2i))
+			res.DataClusters++
+		}
+	}
+	res.AllocatedClusters = int64(len(expected))
+
+	// Compare against stored refcounts over the whole file.
+	for c := int64(0); c < totalClusters; c++ {
+		got, err := img.refcount(c)
+		if err != nil {
+			return nil, err
+		}
+		want := expected[c]
+		switch {
+		case int64(got) == want:
+		case want == 0 && got > 0:
+			res.Leaks++
+		default:
+			res.Errors = append(res.Errors,
+				fmt.Sprintf("cluster %d: refcount %d, expected %d", c, got, want))
+		}
+	}
+	return res, nil
+}
+
+// Extent describes one run of the guest-visible mapping, as `qemu-img map`
+// would print it.
+type Extent struct {
+	Start      int64 // virtual offset
+	Length     int64
+	Allocated  bool  // materialised in this image
+	PhysOff    int64 // physical offset when allocated
+	Compressed bool  // stored as a deflate blob
+}
+
+// Map returns the allocation extents of the image, coalescing contiguous
+// clusters with the same disposition.
+func (img *Image) Map() ([]Extent, error) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return nil, ErrClosed
+	}
+	var out []Extent
+	size := int64(img.hdr.Size)
+	clusters := ceilDiv(size, img.ly.clusterSize)
+	for vc := int64(0); vc < clusters; vc++ {
+		m, err := img.lookup(vc)
+		if err != nil {
+			return nil, err
+		}
+		start := vc * img.ly.clusterSize
+		length := img.ly.clusterSize
+		if start+length > size {
+			length = size - start
+		}
+		alloc := m.dataOff != 0
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			contiguousPhys := alloc && last.Allocated &&
+				!m.compressed && !last.Compressed &&
+				last.PhysOff+last.Length == m.dataOff
+			bothHoles := !alloc && !last.Allocated
+			if last.Start+last.Length == start && (contiguousPhys || bothHoles) {
+				last.Length += length
+				continue
+			}
+		}
+		out = append(out, Extent{
+			Start: start, Length: length, Allocated: alloc,
+			PhysOff: m.dataOff, Compressed: m.compressed,
+		})
+	}
+	return out, nil
+}
+
+// Info describes an image for humans (`qimg info`).
+type Info struct {
+	VirtualSize   int64
+	FileSize      int64
+	ClusterSize   int64
+	BackingFile   string
+	IsCache       bool
+	CacheQuota    int64
+	CacheUsed     int64
+	DataClusters  int64
+	FillRatio     float64 // cache used / quota
+	L2CacheHits   int64
+	L2CacheMisses int64
+}
+
+// Info collects summary information about the image.
+func (img *Image) Info() (Info, error) {
+	dc, err := img.AllocatedDataClusters()
+	if err != nil {
+		return Info{}, err
+	}
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	fsz, err := img.f.Size()
+	if err != nil {
+		return Info{}, err
+	}
+	in := Info{
+		VirtualSize:   int64(img.hdr.Size),
+		FileSize:      fsz,
+		ClusterSize:   img.ly.clusterSize,
+		BackingFile:   img.hdr.BackingFile,
+		IsCache:       img.isCache,
+		CacheQuota:    img.quota,
+		CacheUsed:     img.usedBytes(),
+		DataClusters:  dc,
+		L2CacheHits:   img.l2c.hits,
+		L2CacheMisses: img.l2c.miss,
+	}
+	if img.quota > 0 {
+		in.FillRatio = float64(in.CacheUsed) / float64(img.quota)
+	}
+	return in, nil
+}
+
+// String renders the info block.
+func (in Info) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual size: %d\n", in.VirtualSize)
+	fmt.Fprintf(&b, "file size:    %d\n", in.FileSize)
+	fmt.Fprintf(&b, "cluster size: %d\n", in.ClusterSize)
+	if in.BackingFile != "" {
+		fmt.Fprintf(&b, "backing file: %s\n", in.BackingFile)
+	}
+	if in.IsCache {
+		fmt.Fprintf(&b, "cache image:  quota=%d used=%d (%.1f%%)\n",
+			in.CacheQuota, in.CacheUsed, 100*in.FillRatio)
+	}
+	fmt.Fprintf(&b, "data clusters: %d\n", in.DataClusters)
+	return b.String()
+}
+
+// sortedKeys is a test helper shared by check-related tests.
+func sortedKeys(m map[int64]int64) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,48 @@
+package qcow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CommitTo merges this image's allocated guest data into dst (its backing
+// image, opened writable), the qemu-img commit operation. After a commit
+// the source image can be discarded and VMs re-based onto dst.
+//
+// Cache images reject being a commit *destination* — they are immutable
+// with respect to guest data (§3) — but a CoW image may be committed into a
+// writable base. Cache images may be commit *sources*: committing a warm
+// cache into a fresh standalone image materialises the boot working set as
+// a bootable minimal image.
+func (img *Image) CommitTo(dst *Image) error {
+	if dst == nil {
+		return errors.New("qcow: commit needs a destination image")
+	}
+	if dst.Size() < img.Size() {
+		return fmt.Errorf("qcow: destination smaller than source (%d < %d)", dst.Size(), img.Size())
+	}
+	extents, err := img.Map()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<20)
+	for _, e := range extents {
+		if !e.Allocated {
+			continue
+		}
+		for off := e.Start; off < e.Start+e.Length; {
+			n := int64(len(buf))
+			if rem := e.Start + e.Length - off; rem < n {
+				n = rem
+			}
+			if _, err := img.ReadAt(buf[:n], off); err != nil {
+				return fmt.Errorf("qcow: commit read at %d: %w", off, err)
+			}
+			if _, err := dst.WriteAt(buf[:n], off); err != nil {
+				return fmt.Errorf("qcow: commit write at %d: %w", off, err)
+			}
+			off += n
+		}
+	}
+	return dst.Sync()
+}

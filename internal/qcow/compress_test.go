@@ -1,0 +1,299 @@
+package qcow
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// compressibleCluster builds one cluster of text-like content.
+func compressibleCluster(n int64, seed byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = 'a' + byte(i+int(seed))%17
+	}
+	return out
+}
+
+func TestCompressedClusterRoundTrip(t *testing.T) {
+	img, _ := newTestImage(t, testMB, 12) // 4 KiB clusters
+	data := compressibleCluster(4096, 1)
+	if err := img.WriteCompressedCluster(3, data); err != nil {
+		t.Fatal(err)
+	}
+	clusters, bytesC := img.CompressionStats()
+	if clusters != 1 || bytesC == 0 || bytesC >= 4096 {
+		t.Fatalf("compression stats: %d clusters, %d bytes", clusters, bytesC)
+	}
+	got := make([]byte, 4096)
+	if err := backend.ReadFull(img, got, 3*4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("compressed round trip mismatch")
+	}
+	// Reads straddling compressed and hole clusters work.
+	wide := make([]byte, 3*4096)
+	if err := backend.ReadFull(img, wide, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		if wide[i] != 0 {
+			t.Fatal("hole before compressed cluster not zero")
+		}
+	}
+	if !bytes.Equal(wide[4096:2*4096], data) {
+		t.Fatal("middle compressed cluster mismatch")
+	}
+	res, err := img.Check()
+	if err != nil || !res.OK() {
+		t.Fatalf("check: %v %s", err, res)
+	}
+	// Map reports the compressed extent.
+	exts, err := img.Map()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundCompressed bool
+	for _, e := range exts {
+		if e.Compressed {
+			foundCompressed = true
+			if e.Start != 3*4096 || e.Length != 4096 {
+				t.Fatalf("compressed extent: %+v", e)
+			}
+		}
+	}
+	if !foundCompressed {
+		t.Fatal("Map missed the compressed extent")
+	}
+}
+
+func TestCompressedIncompressibleStoredRaw(t *testing.T) {
+	img, _ := newTestImage(t, testMB, 12)
+	noise := make([]byte, 4096)
+	for i := range noise {
+		noise[i] = byte(i*7919 + i*i)
+	}
+	// High-entropy data via the pattern generator.
+	base, pat := newPatternedBase(t, 4096, 60)
+	_ = base
+	if err := img.WriteCompressedCluster(0, pat); err != nil {
+		t.Fatal(err)
+	}
+	clusters, _ := img.CompressionStats()
+	if clusters != 0 {
+		t.Fatal("incompressible cluster stored compressed")
+	}
+	got := make([]byte, 4096)
+	if err := backend.ReadFull(img, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pat) {
+		t.Fatal("raw-fallback round trip mismatch")
+	}
+}
+
+func TestCompressedWriteValidation(t *testing.T) {
+	img, _ := newTestImage(t, testMB, 12)
+	if err := img.WriteCompressedCluster(0, make([]byte, 100)); err == nil {
+		t.Fatal("short data accepted")
+	}
+	if err := img.WriteCompressedCluster(-1, make([]byte, 4096)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative vc: %v", err)
+	}
+	data := compressibleCluster(4096, 2)
+	if err := img.WriteCompressedCluster(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.WriteCompressedCluster(0, data); err == nil {
+		t.Fatal("double compressed write accepted")
+	}
+	// Cache images refuse compressed writes.
+	baseF, _ := newPatternedBase(t, testMB, 61)
+	cache := newCache(t, testMB, testMB, 12, RawSource{R: baseF, N: testMB})
+	if err := cache.WriteCompressedCluster(0, data); !errors.Is(err, ErrCacheImmutable) {
+		t.Fatalf("cache compressed write: %v", err)
+	}
+}
+
+func TestCompressedCopyOnWrite(t *testing.T) {
+	img, _ := newTestImage(t, testMB, 12)
+	data := compressibleCluster(4096, 3)
+	if err := img.WriteCompressedCluster(2, data); err != nil {
+		t.Fatal(err)
+	}
+	// Guest write into the compressed cluster: must CoW to raw, merge.
+	if err := backend.WriteFull(img, []byte("OVERWRITE"), 2*4096+100); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data...)
+	copy(want[100:], "OVERWRITE")
+	got := make([]byte, 4096)
+	if err := backend.ReadFull(img, got, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("CoW-from-compressed merge mismatch")
+	}
+	// The entry is now raw: in-place rewrite must not re-allocate.
+	before, _ := img.AllocatedDataClusters()
+	if err := backend.WriteFull(img, []byte("again"), 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := img.AllocatedDataClusters()
+	if before != after {
+		t.Fatal("write after decompress CoW allocated again")
+	}
+	// Blob cluster released: consistency holds with no leaks.
+	res, err := img.Check()
+	if err != nil || !res.OK() {
+		t.Fatalf("check: %v %s", err, res)
+	}
+	if res.Leaks != 0 {
+		t.Fatalf("blob leaked: %d leaks", res.Leaks)
+	}
+}
+
+func TestCompressedPersistsAcrossReopen(t *testing.T) {
+	f := backend.NewMemFile()
+	img, err := Create(f, CreateOpts{Size: testMB, ClusterBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := compressibleCluster(4096, 4)
+	if err := img.WriteCompressedCluster(5, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshot(t, f)
+	img.Close() //nolint:errcheck
+
+	re, err := Open(snap, OpenOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if err := backend.ReadFull(re, got, 5*4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("compressed data lost across reopen")
+	}
+}
+
+func TestCompressedTailCluster(t *testing.T) {
+	img, _ := newTestImage(t, 4096+1000, 12) // partial final cluster
+	tail := compressibleCluster(1000, 5)
+	if err := img.WriteCompressedCluster(1, tail); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1000)
+	if err := backend.ReadFull(img, got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, tail) {
+		t.Fatal("compressed tail cluster mismatch")
+	}
+}
+
+func TestCompressedImageSmallerThanRaw(t *testing.T) {
+	content := func(img *Image, compressed bool) {
+		for vc := int64(0); vc < 64; vc++ {
+			data := compressibleCluster(4096, byte(vc))
+			if compressed {
+				if err := img.WriteCompressedCluster(vc, data); err != nil {
+					panic(err)
+				}
+			} else if err := backend.WriteFull(img, data, vc*4096); err != nil {
+				panic(err)
+			}
+		}
+	}
+	fRaw := backend.NewMemFile()
+	raw, err := Create(fRaw, CreateOpts{Size: testMB, ClusterBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content(raw, false)
+	fCmp := backend.NewMemFile()
+	cmp, err := Create(fCmp, CreateOpts{Size: testMB, ClusterBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content(cmp, true)
+	rawSize, _ := fRaw.Size()
+	cmpSize, _ := fCmp.Size()
+	if cmpSize >= rawSize {
+		t.Fatalf("compressed image (%d) not smaller than raw (%d)", cmpSize, rawSize)
+	}
+	// And identical guest views.
+	a := make([]byte, 64*4096)
+	b := make([]byte, 64*4096)
+	if err := backend.ReadFull(raw, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.ReadFull(cmp, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("compressed and raw guest views differ")
+	}
+}
+
+// Property-style: a random mix of compressed imports, guest writes and
+// reads matches a reference buffer, across cluster sizes, and the image
+// stays consistent.
+func TestCompressedRandomMixMatchesReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(71))
+	for _, cb := range []int{9, 12, 16} {
+		cs := int64(1) << cb
+		size := 64 * cs
+		img, _ := newTestImage(t, size, cb)
+		ref := make([]byte, size)
+
+		// Import ~half the clusters compressed (text-like content).
+		for vc := int64(0); vc < 64; vc += 2 {
+			data := compressibleCluster(cs, byte(vc))
+			if err := img.WriteCompressedCluster(vc, data); err != nil {
+				t.Fatalf("cb=%d import vc=%d: %v", cb, vc, err)
+			}
+			copy(ref[vc*cs:], data)
+		}
+		// Random guest writes and verified reads.
+		for i := 0; i < 200; i++ {
+			off := rnd.Int63n(size - 1)
+			n := rnd.Int63n(3*cs) + 1
+			if off+n > size {
+				n = size - off
+			}
+			if rnd.Intn(2) == 0 {
+				d := make([]byte, n)
+				rnd.Read(d)
+				if err := backend.WriteFull(img, d, off); err != nil {
+					t.Fatalf("cb=%d write: %v", cb, err)
+				}
+				copy(ref[off:], d)
+			} else {
+				got := make([]byte, n)
+				if err := backend.ReadFull(img, got, off); err != nil {
+					t.Fatalf("cb=%d read: %v", cb, err)
+				}
+				if !bytes.Equal(got, ref[off:off+n]) {
+					t.Fatalf("cb=%d mismatch at %d+%d", cb, off, n)
+				}
+			}
+		}
+		res, err := img.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatalf("cb=%d check: %s", cb, res)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package qcow
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// Failure injection: container errors must surface as errors without
+// corrupting metadata that was already durable.
+
+func TestWriteFaultSurfacesCleanly(t *testing.T) {
+	inner := backend.NewMemFile()
+	faulty := backend.NewFaultyFile(inner)
+	img, err := Create(faulty, CreateOpts{Size: testMB, ClusterBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A successful write first.
+	if err := backend.WriteFull(img, []byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next container write: the guest write must error.
+	faulty.FailWriteAfter(0)
+	if _, err := img.WriteAt([]byte("boom"), 500000); !errors.Is(err, backend.ErrInjected) {
+		t.Fatalf("fault not surfaced: %v", err)
+	}
+	faulty.FailWriteAfter(-1)
+	// Previously written data is intact and the image still works.
+	buf := make([]byte, 2)
+	if err := backend.ReadFull(img, buf, 0); err != nil || string(buf) != "ok" {
+		t.Fatalf("pre-fault data lost: %v %q", err, buf)
+	}
+	if err := backend.WriteFull(img, []byte("after"), 500000); err != nil {
+		t.Fatalf("image unusable after fault: %v", err)
+	}
+	res, err := img.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aborted allocation may leak a cluster but must not corrupt.
+	if !res.OK() {
+		t.Fatalf("metadata corrupt after write fault: %s", res)
+	}
+}
+
+func TestCacheFillFaultSurfacesCleanly(t *testing.T) {
+	base, _ := newPatternedBase(t, testMB, 50)
+	inner := backend.NewMemFile()
+	faulty := backend.NewFaultyFile(inner)
+	img, err := Create(faulty, CreateOpts{
+		Size: testMB, ClusterBits: 9, BackingFile: "b", CacheQuota: testMB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.SetBacking(RawSource{R: base, N: testMB})
+	buf := make([]byte, 4096)
+	if err := backend.ReadFull(img, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	faulty.FailWriteAfter(0) // next fill's container write fails
+	if _, err := img.ReadAt(buf, 500000); !errors.Is(err, backend.ErrInjected) {
+		t.Fatalf("fill fault not surfaced: %v", err)
+	}
+	faulty.FailWriteAfter(-1)
+	// Warm data still readable; new fills work again.
+	if err := backend.ReadFull(img, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.ReadFull(img, buf, 600000); err != nil {
+		t.Fatalf("cache unusable after fill fault: %v", err)
+	}
+	res, err := img.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("cache metadata corrupt after fill fault: %s", res)
+	}
+}
+
+func TestBackingReadFaultPropagates(t *testing.T) {
+	base, _ := newPatternedBase(t, testMB, 51)
+	faultyBase := backend.NewFaultyFile(base)
+	img, _ := newTestImage(t, testMB, 12)
+	img.SetBacking(RawSource{R: faultyBase, N: testMB})
+	faultyBase.FailReadAfter(0)
+	if _, err := img.ReadAt(make([]byte, 100), 0); !errors.Is(err, backend.ErrInjected) {
+		t.Fatalf("backing fault not propagated: %v", err)
+	}
+	faultyBase.FailReadAfter(-1)
+	if _, err := img.ReadAt(make([]byte, 100), 0); err != nil {
+		t.Fatalf("image stuck after backing fault: %v", err)
+	}
+}
+
+func TestSyncFaultPropagates(t *testing.T) {
+	inner := backend.NewMemFile()
+	faulty := backend.NewFaultyFile(inner)
+	img, err := Create(faulty, CreateOpts{Size: testMB, ClusterBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.FailSync(true)
+	if err := img.Sync(); !errors.Is(err, backend.ErrInjected) {
+		t.Fatalf("sync fault: %v", err)
+	}
+	faulty.FailSync(false)
+	if err := img.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitCowIntoBase(t *testing.T) {
+	// base <- cow; write through cow; commit; base must now hold the
+	// merged view.
+	baseFile, pat := newPatternedBase(t, testMB, 52)
+	baseImg, err := Create(backend.NewMemFile(), CreateOpts{Size: testMB, ClusterBits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.WriteFull(baseImg, pat, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = baseFile
+
+	cow, err := Create(backend.NewMemFile(), CreateOpts{Size: testMB, ClusterBits: 12, BackingFile: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cow.SetBacking(baseImg)
+	if err := backend.WriteFull(cow, []byte("committed!"), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.WriteFull(cow, bytes.Repeat([]byte{0xEE}, 10000), 300000); err != nil {
+		t.Fatal(err)
+	}
+	if err := cow.CommitTo(baseImg); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// Read base DIRECTLY (no cow): merged data present, rest untouched.
+	buf := make([]byte, 10)
+	if err := backend.ReadFull(baseImg, buf, 4096); err != nil || string(buf) != "committed!" {
+		t.Fatalf("commit lost data: %v %q", err, buf)
+	}
+	if err := backend.ReadFull(baseImg, buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, pat[100:110]) {
+		t.Fatal("commit disturbed unrelated data")
+	}
+	res, err := baseImg.Check()
+	if err != nil || !res.OK() {
+		t.Fatalf("base corrupt after commit: %v %s", err, res)
+	}
+}
+
+func TestCommitWarmCacheMaterialisesWorkingSet(t *testing.T) {
+	// Commit a warm cache into a fresh standalone image: the boot
+	// working set becomes a bootable minimal image.
+	base, pat := newPatternedBase(t, testMB, 53)
+	cache := newCache(t, testMB, testMB, 9, RawSource{R: base, N: testMB})
+	buf := make([]byte, 100<<10)
+	if err := backend.ReadFull(cache, buf, 50000); err != nil { // warm
+		t.Fatal(err)
+	}
+	dst, err := Create(backend.NewMemFile(), CreateOpts{Size: testMB, ClusterBits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.CommitTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 100<<10)
+	if err := backend.ReadFull(dst, got, 50000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pat[50000:50000+100<<10]) {
+		t.Fatal("materialised working set mismatch")
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	img, _ := newTestImage(t, testMB, 12)
+	if err := img.CommitTo(nil); err == nil {
+		t.Fatal("commit to nil succeeded")
+	}
+	small, err := Create(backend.NewMemFile(), CreateOpts{Size: 1000, ClusterBits: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.CommitTo(small); err == nil {
+		t.Fatal("commit into smaller image succeeded")
+	}
+	// Committing INTO a cache image must fail (immutability).
+	base, _ := newPatternedBase(t, testMB, 54)
+	cacheDst := newCache(t, testMB, testMB, 9, RawSource{R: base, N: testMB})
+	if err := backend.WriteFull(img, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.CommitTo(cacheDst); !errors.Is(err, ErrCacheImmutable) {
+		t.Fatalf("commit into cache: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package qcow
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// Format-stability tests: the on-disk layout is a compatibility contract
+// (images written today must open tomorrow). These tests pin the byte-level
+// positions of the header fields and the cache extension, so accidental
+// layout changes fail loudly.
+
+func TestGoldenHeaderLayout(t *testing.T) {
+	f := backend.NewMemFile()
+	img, err := Create(f, CreateOpts{
+		Size:        8 << 20,
+		ClusterBits: 12,
+		BackingFile: "base.img",
+		CacheQuota:  4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 4096)
+	if err := backend.ReadFull(f, raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	be := binary.BigEndian
+
+	// Fixed header fields at their QCOW2 v3 offsets.
+	if got := be.Uint32(raw[0:]); got != 0x514649fb {
+		t.Fatalf("magic = %#x", got)
+	}
+	if got := be.Uint32(raw[4:]); got != 3 {
+		t.Fatalf("version = %d", got)
+	}
+	if got := be.Uint32(raw[20:]); got != 12 {
+		t.Fatalf("cluster_bits = %d", got)
+	}
+	if got := be.Uint64(raw[24:]); got != 8<<20 {
+		t.Fatalf("size = %d", got)
+	}
+	if got := be.Uint32(raw[96:]); got != 4 {
+		t.Fatalf("refcount_order = %d", got)
+	}
+	if got := be.Uint32(raw[100:]); got != 104 {
+		t.Fatalf("header_length = %d", got)
+	}
+
+	// Cache extension: first extension, type 0xcac4e0f1, 16-byte payload
+	// (quota, used) at offset 104.
+	if got := be.Uint32(raw[104:]); got != 0xcac4e0f1 {
+		t.Fatalf("cache ext type = %#x", got)
+	}
+	if got := be.Uint32(raw[108:]); got != 16 {
+		t.Fatalf("cache ext length = %d", got)
+	}
+	if got := be.Uint64(raw[112:]); got != 4<<20 {
+		t.Fatalf("cache quota = %d", got)
+	}
+	if got := be.Uint64(raw[120:]); got == 0 {
+		t.Fatal("cache used = 0")
+	}
+	// End-of-extensions marker after the padded cache extension.
+	if got := be.Uint32(raw[128:]); got != 0 {
+		t.Fatalf("end marker = %#x", got)
+	}
+
+	// Backing name: offset/size fields point inside cluster 0.
+	bfOff := be.Uint64(raw[8:])
+	bfLen := be.Uint32(raw[16:])
+	if bfOff == 0 || bfLen != 8 {
+		t.Fatalf("backing fields: off=%d len=%d", bfOff, bfLen)
+	}
+	if got := string(raw[bfOff : bfOff+uint64(bfLen)]); got != "base.img" {
+		t.Fatalf("backing name = %q", got)
+	}
+}
+
+func TestGoldenLayoutOffsets(t *testing.T) {
+	// Creation layout: header | refcount table | first refblock | L1.
+	f := backend.NewMemFile()
+	img, err := Create(f, CreateOpts{Size: 8 << 20, ClusterBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := img.Header()
+	cs := int64(4096)
+	if int64(h.RefTableOffset) != cs {
+		t.Fatalf("refcount table at %d, want %d", h.RefTableOffset, cs)
+	}
+	l1Expected := int64(h.RefTableOffset) + int64(h.RefTableClusters)*cs + cs
+	if int64(h.L1TableOffset) != l1Expected {
+		t.Fatalf("L1 at %d, want %d", h.L1TableOffset, l1Expected)
+	}
+	// An image created with identical options is byte-identical
+	// (deterministic creation).
+	f2 := backend.NewMemFile()
+	if _, err := Create(f2, CreateOpts{Size: 8 << 20, ClusterBits: 12}); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := f.Size()
+	s2, _ := f2.Size()
+	if s1 != s2 {
+		t.Fatalf("sizes differ: %d vs %d", s1, s2)
+	}
+	a := make([]byte, s1)
+	b := make([]byte, s2)
+	if err := backend.ReadFull(f, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.ReadFull(f2, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("creation not deterministic at byte %d", i)
+		}
+	}
+}

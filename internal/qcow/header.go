@@ -1,0 +1,193 @@
+package qcow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header is the decoded fixed header plus the extensions this implementation
+// understands. Field order and widths follow QCOW2 v3 (§4.1 of the paper
+// sketches the same structure).
+type Header struct {
+	Magic             uint32
+	Version           uint32
+	BackingFileOffset uint64
+	BackingFileSize   uint32
+	ClusterBits       uint32
+	Size              uint64 // virtual disk size
+	CryptMethod       uint32
+	L1Size            uint32 // entries
+	L1TableOffset     uint64
+	RefTableOffset    uint64
+	RefTableClusters  uint32
+	NbSnapshots       uint32
+	SnapshotsOffset   uint64
+	IncompatFeatures  uint64
+	CompatFeatures    uint64
+	AutoclearFeatures uint64
+	RefcountOrder     uint32
+	HeaderLength      uint32
+
+	// Cache extension (§4.3). Present when HasCacheExt; Quota > 0 marks
+	// the image as a cache image. CacheUsed is the current size of the
+	// cache, maintained as the physical file length.
+	HasCacheExt bool
+	CacheQuota  uint64
+	CacheUsed   uint64
+
+	// BackingFile is the decoded backing file name ("" if none).
+	BackingFile string
+
+	// cacheExtOff is the file offset of the cache extension payload,
+	// recorded so the current-size field can be rewritten in place.
+	cacheExtOff int64
+}
+
+// IsCache reports whether the header marks a cache image.
+func (h *Header) IsCache() bool { return h.HasCacheExt && h.CacheQuota > 0 }
+
+// encode serialises the header, its extensions, and the backing file name
+// into a single buffer that must fit in the first cluster.
+func (h *Header) encode(clusterSize int64) ([]byte, error) {
+	buf := make([]byte, headerLength)
+	be := binary.BigEndian
+	be.PutUint32(buf[0:], h.Magic)
+	be.PutUint32(buf[4:], h.Version)
+	// Backing file offset/size are fixed up below once the extension
+	// block length is known.
+	be.PutUint32(buf[20:], h.ClusterBits)
+	be.PutUint64(buf[24:], h.Size)
+	be.PutUint32(buf[32:], h.CryptMethod)
+	be.PutUint32(buf[36:], h.L1Size)
+	be.PutUint64(buf[40:], h.L1TableOffset)
+	be.PutUint64(buf[48:], h.RefTableOffset)
+	be.PutUint32(buf[56:], h.RefTableClusters)
+	be.PutUint32(buf[60:], h.NbSnapshots)
+	be.PutUint64(buf[64:], h.SnapshotsOffset)
+	be.PutUint64(buf[72:], h.IncompatFeatures)
+	be.PutUint64(buf[80:], h.CompatFeatures)
+	be.PutUint64(buf[88:], h.AutoclearFeatures)
+	be.PutUint32(buf[96:], h.RefcountOrder)
+	be.PutUint32(buf[100:], headerLength)
+
+	// Extensions: [type u32][len u32][data padded to 8].
+	if h.HasCacheExt {
+		ext := make([]byte, 8+16)
+		be.PutUint32(ext[0:], extCache)
+		be.PutUint32(ext[4:], 16)
+		be.PutUint64(ext[8:], h.CacheQuota)
+		be.PutUint64(ext[16:], h.CacheUsed)
+		buf = append(buf, ext...)
+	}
+	endExt := make([]byte, 8)
+	be.PutUint32(endExt[0:], extEnd)
+	buf = append(buf, endExt...)
+
+	if h.BackingFile != "" {
+		h.BackingFileOffset = uint64(len(buf))
+		h.BackingFileSize = uint32(len(h.BackingFile))
+		be.PutUint64(buf[8:], h.BackingFileOffset)
+		be.PutUint32(buf[16:], h.BackingFileSize)
+		buf = append(buf, []byte(h.BackingFile)...)
+	}
+	if int64(len(buf)) > clusterSize {
+		return nil, ErrBackingNameSize
+	}
+	// Pad to the full cluster so the header cluster is fully defined.
+	padded := make([]byte, clusterSize)
+	copy(padded, buf)
+	return padded, nil
+}
+
+// decodeHeader parses a header cluster.
+func decodeHeader(buf []byte) (*Header, error) {
+	if len(buf) < headerLength {
+		return nil, ErrBadHeader
+	}
+	be := binary.BigEndian
+	h := &Header{
+		Magic:             be.Uint32(buf[0:]),
+		Version:           be.Uint32(buf[4:]),
+		BackingFileOffset: be.Uint64(buf[8:]),
+		BackingFileSize:   be.Uint32(buf[16:]),
+		ClusterBits:       be.Uint32(buf[20:]),
+		Size:              be.Uint64(buf[24:]),
+		CryptMethod:       be.Uint32(buf[32:]),
+		L1Size:            be.Uint32(buf[36:]),
+		L1TableOffset:     be.Uint64(buf[40:]),
+		RefTableOffset:    be.Uint64(buf[48:]),
+		RefTableClusters:  be.Uint32(buf[56:]),
+		NbSnapshots:       be.Uint32(buf[60:]),
+		SnapshotsOffset:   be.Uint64(buf[64:]),
+		IncompatFeatures:  be.Uint64(buf[72:]),
+		CompatFeatures:    be.Uint64(buf[80:]),
+		AutoclearFeatures: be.Uint64(buf[88:]),
+		RefcountOrder:     be.Uint32(buf[96:]),
+		HeaderLength:      be.Uint32(buf[100:]),
+	}
+	if h.Magic != Magic {
+		return nil, ErrBadMagic
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	if h.ClusterBits < MinClusterBits || h.ClusterBits > MaxClusterBits {
+		return nil, ErrBadClusterBits
+	}
+	if h.RefcountOrder != refcountOrder {
+		return nil, fmt.Errorf("%w: refcount order %d", ErrBadHeader, h.RefcountOrder)
+	}
+	if h.HeaderLength < headerLength {
+		return nil, ErrBadHeader
+	}
+
+	// Walk extensions. When opening a QCOW2 image, "it is checked against
+	// our new caching extension. If the extension is detected ... the
+	// image is treated as a cache image" (§4.3). Unknown extensions are
+	// skipped for backward compatibility.
+	pos := int(h.HeaderLength)
+	for pos+8 <= len(buf) {
+		typ := be.Uint32(buf[pos:])
+		length := int(be.Uint32(buf[pos+4:]))
+		pos += 8
+		if typ == extEnd {
+			break
+		}
+		if pos+length > len(buf) {
+			return nil, ErrBadHeader
+		}
+		if typ == extCache && length == 16 {
+			h.HasCacheExt = true
+			h.CacheQuota = be.Uint64(buf[pos:])
+			h.CacheUsed = be.Uint64(buf[pos+8:])
+			h.cacheExtOff = int64(pos)
+		}
+		pos += (length + 7) &^ 7
+	}
+
+	if h.BackingFileOffset != 0 {
+		off := int(h.BackingFileOffset)
+		end := off + int(h.BackingFileSize)
+		if off < headerLength || end > len(buf) {
+			return nil, ErrBadHeader
+		}
+		h.BackingFile = string(buf[off:end])
+	}
+	return h, nil
+}
+
+// cacheExtFileOffset computes where the cache extension's payload lives in
+// the file, so the current-size field can be updated in place on close
+// without rewriting the whole header. Returns 0 if the extension is absent.
+func (h *Header) cacheExtFileOffset() int64 {
+	if !h.HasCacheExt {
+		return 0
+	}
+	if h.cacheExtOff != 0 {
+		return h.cacheExtOff
+	}
+	// Images created by this package write the cache extension first in
+	// the extension list: payload starts after the fixed header plus the
+	// 8-byte extension header.
+	return headerLength + 8
+}

@@ -1,0 +1,181 @@
+package qcow
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vmicache/internal/backend"
+)
+
+func TestHeaderEncodeDecodeRoundTrip(t *testing.T) {
+	h := &Header{
+		Magic:            Magic,
+		Version:          Version,
+		ClusterBits:      12,
+		Size:             10 << 30,
+		L1Size:           1234,
+		L1TableOffset:    3 * 4096,
+		RefTableOffset:   4096,
+		RefTableClusters: 2,
+		RefcountOrder:    refcountOrder,
+		BackingFile:      "nfs:centos.img",
+		HasCacheExt:      true,
+		CacheQuota:       250 << 20,
+		CacheUsed:        93 << 20,
+	}
+	buf, err := h.encode(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 4096 {
+		t.Fatalf("encoded length %d", len(buf))
+	}
+	got, err := decodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != h.Size || got.ClusterBits != h.ClusterBits ||
+		got.L1Size != h.L1Size || got.L1TableOffset != h.L1TableOffset ||
+		got.RefTableOffset != h.RefTableOffset || got.RefTableClusters != h.RefTableClusters {
+		t.Fatalf("fixed fields: %+v", got)
+	}
+	if got.BackingFile != h.BackingFile {
+		t.Fatalf("backing: %q", got.BackingFile)
+	}
+	if !got.HasCacheExt || got.CacheQuota != h.CacheQuota || got.CacheUsed != h.CacheUsed {
+		t.Fatalf("cache ext: %+v", got)
+	}
+	if !got.IsCache() {
+		t.Fatal("IsCache false")
+	}
+}
+
+// Property: headers with random sizes/names round-trip exactly.
+func TestHeaderQuickRoundTrip(t *testing.T) {
+	check := func(size uint64, nameLen uint8, quota uint64, hasExt bool) bool {
+		name := strings.Repeat("x", int(nameLen)%200)
+		h := &Header{
+			Magic: Magic, Version: Version, ClusterBits: 16,
+			Size: size, RefcountOrder: refcountOrder,
+			BackingFile: name, HasCacheExt: hasExt,
+			CacheQuota: quota,
+		}
+		buf, err := h.encode(64 << 10)
+		if err != nil {
+			return false
+		}
+		got, err := decodeHeader(buf)
+		if err != nil {
+			return false
+		}
+		ok := got.Size == size && got.BackingFile == name
+		if hasExt {
+			ok = ok && got.HasCacheExt && got.CacheQuota == quota
+		} else {
+			ok = ok && !got.HasCacheExt
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hostile input: Open must reject corrupted headers with errors, never
+// panic or loop.
+func TestOpenHostileHeaders(t *testing.T) {
+	// Start from a valid image, then corrupt specific header fields.
+	mk := func(mutate func(b []byte)) error {
+		f := backend.NewMemFile()
+		img, err := Create(f, CreateOpts{Size: testMB, ClusterBits: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		sz, _ := f.Size()
+		raw := make([]byte, sz)
+		if err := backend.ReadFull(f, raw, 0); err != nil {
+			t.Fatal(err)
+		}
+		mutate(raw)
+		f2 := backend.NewMemFile()
+		if err := backend.WriteFull(f2, raw, 0); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Open(f2, OpenOpts{})
+		return err
+	}
+
+	if err := mk(func(b []byte) { b[0] = 0 }); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if err := mk(func(b []byte) { b[7] = 9 }); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if err := mk(func(b []byte) { b[23] = 40 }); !errors.Is(err, ErrBadClusterBits) {
+		t.Fatalf("absurd cluster bits: %v", err)
+	}
+	if err := mk(func(b []byte) { b[99] = 7 }); err == nil {
+		t.Fatal("bad refcount order accepted")
+	}
+	// L1 offset misaligned.
+	if err := mk(func(b []byte) { b[47] = 0x13 }); err == nil {
+		t.Fatal("misaligned L1 accepted")
+	}
+}
+
+// Hostile input: random bytes never crash Open.
+func TestOpenRandomGarbageNeverPanics(t *testing.T) {
+	rnd := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		n := rnd.Intn(8192) + 1
+		raw := make([]byte, n)
+		rnd.Read(raw)
+		f := backend.NewMemFile()
+		if err := backend.WriteFull(f, raw, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(f, OpenOpts{}); err == nil {
+			t.Fatalf("garbage %d opened successfully", i)
+		}
+	}
+}
+
+// Hostile input: a header claiming a huge backing-name offset past the
+// cluster must be rejected, not read out of bounds.
+func TestOpenTruncatedImage(t *testing.T) {
+	f := backend.NewMemFile()
+	img, err := Create(f, CreateOpts{Size: testMB, ClusterBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f.Size()
+	raw := make([]byte, sz)
+	if err := backend.ReadFull(f, raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-L1: Open must fail cleanly.
+	f2 := backend.NewMemFile()
+	if err := backend.WriteFull(f2, raw[:5000], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f2, OpenOpts{}); err == nil {
+		t.Fatal("truncated image opened")
+	}
+	// Truncate to a few bytes.
+	f3 := backend.NewMemFile()
+	if err := backend.WriteFull(f3, raw[:50], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f3, OpenOpts{}); err == nil {
+		t.Fatal("stub image opened")
+	}
+}

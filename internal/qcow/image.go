@@ -1,0 +1,407 @@
+package qcow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vmicache/internal/backend"
+)
+
+// Stats counts data-path activity on one image. BackingBytes is the quantity
+// Fig. 9/10 plot as "observed traffic at the storage node" when the backing
+// image lives there.
+type Stats struct {
+	GuestReadOps    atomic.Int64
+	GuestReadBytes  atomic.Int64
+	GuestWriteOps   atomic.Int64
+	GuestWriteBytes atomic.Int64
+
+	// BackingReadOps/BackingBytes count data fetched from the backing
+	// source, i.e. cold misses of this image.
+	BackingReadOps atomic.Int64
+	BackingBytes   atomic.Int64
+
+	// LocalBytes counts guest-read bytes served from this image's own
+	// clusters (warm hits for cache images).
+	LocalBytes atomic.Int64
+
+	// CacheFillOps/CacheFillBytes count copy-on-read fills performed by a
+	// cache image; CacheFullEvents counts fills refused by the quota.
+	CacheFillOps    atomic.Int64
+	CacheFillBytes  atomic.Int64
+	CacheFullEvents atomic.Int64
+
+	// CowFillBytes counts partial-cluster backing fetches triggered by
+	// guest writes (copy-on-write fills).
+	CowFillBytes atomic.Int64
+
+	// CompressedClusters/CompressedBytes count clusters written through
+	// WriteCompressedCluster and their deflate volume.
+	CompressedClusters atomic.Int64
+	CompressedBytes    atomic.Int64
+}
+
+// CreateOpts parameterises image creation, mirroring qemu-img's knobs plus
+// the cache quota of §4.4.
+type CreateOpts struct {
+	// Size is the virtual disk size in bytes. With a backing file it may
+	// be 0, meaning "inherit at open time" is NOT supported — callers
+	// pass the base size explicitly (qemu-img does the same resolution).
+	Size int64
+
+	// ClusterBits selects the cluster size (9..21); 0 means the 64 KiB
+	// default.
+	ClusterBits int
+
+	// BackingFile names the backing image ("" for standalone).
+	BackingFile string
+
+	// CacheQuota, when non-zero, creates a cache image limited to this
+	// many bytes of physical file size (§4.3 create).
+	CacheQuota int64
+}
+
+// OpenOpts parameterises opening an image.
+type OpenOpts struct {
+	// ReadOnly rejects all mutations, including cache fills.
+	ReadOnly bool
+}
+
+// Image is an open image file. Methods are safe for concurrent use by
+// multiple goroutines; a single mutex serialises metadata mutation.
+type Image struct {
+	mu sync.Mutex
+
+	f      backend.File
+	hdr    *Header
+	ly     layout
+	ro     bool
+	closed bool
+
+	// l1 is the in-memory L1 table (write-through).
+	l1 []uint64
+	// refTable is the in-memory refcount table (write-through).
+	refTable []uint64
+	// l2c caches recently used L2 tables.
+	l2c *l2Cache
+	// nextFree is the next unallocated cluster index (bump allocator).
+	nextFree int64
+
+	// backing is the recursion target for unallocated reads; nil for
+	// standalone images.
+	backing BlockSource
+
+	// isCache and cacheFull implement the §4.3 protocol.
+	isCache   bool
+	quota     int64
+	cacheFull bool
+
+	// compCursor is the next 512-aligned free offset inside a partially
+	// filled compressed-blob cluster (0 = none open).
+	compCursor int64
+
+	stats Stats
+}
+
+// MinCacheQuota reports the smallest admissible cache quota for an image of
+// the given virtual size and cluster size: the initial metadata (header,
+// refcount table and first block, L1 table) counts against the quota, so
+// anything smaller is rejected by Create.
+func MinCacheQuota(size int64, clusterBits int) int64 {
+	if clusterBits == 0 {
+		clusterBits = DefaultClusterBits
+	}
+	ly := newLayout(uint32(clusterBits))
+	_, _, _, metaClusters := createLayout(ly, size)
+	return metaClusters * ly.clusterSize
+}
+
+// createLayout computes the initial file layout for a new image: refcount
+// table offset, first refcount block offset, L1 offset, and the total
+// metadata cluster count.
+func createLayout(ly layout, size int64) (refTableOff, firstRefBlockOff, l1Off, metaClusters int64) {
+	l1Entries := ly.l1EntriesFor(size)
+	l1Clusters := ly.clustersFor(l1Entries * l1EntrySize)
+	maxClusters := ly.clustersFor(size) + l1Entries + l1Clusters + 1024
+	refBlocks := ceilDiv(maxClusters, ly.refBlockEnts)
+	refTableClusters := ly.clustersFor(refBlocks * refTableEntrySz)
+	refTableOff = ly.clusterSize
+	firstRefBlockOff = refTableOff + refTableClusters*ly.clusterSize
+	l1Off = firstRefBlockOff + ly.clusterSize
+	metaClusters = 1 + refTableClusters + 1 + l1Clusters
+	return refTableOff, firstRefBlockOff, l1Off, metaClusters
+}
+
+// Create initialises a new image in f and returns it opened read-write.
+func Create(f backend.File, opts CreateOpts) (*Image, error) {
+	cb := opts.ClusterBits
+	if cb == 0 {
+		cb = DefaultClusterBits
+	}
+	if cb < MinClusterBits || cb > MaxClusterBits {
+		return nil, ErrBadClusterBits
+	}
+	if opts.Size <= 0 {
+		return nil, ErrBadSize
+	}
+	ly := newLayout(uint32(cb))
+	l1Entries := ly.l1EntriesFor(opts.Size)
+
+	// Layout: [0] header | [1..rt] refcount table | [rt+1] first
+	// refcount block | then L1 table clusters. The refcount table covers
+	// the virtual size plus all possible metadata (one L2 table per L1
+	// entry) and a margin, so it rarely needs relocation; relocation is
+	// still implemented for correctness.
+	refTableOff, firstRefBlockOff, l1Off, metaClusters := createLayout(ly, opts.Size)
+	refTableClusters := (firstRefBlockOff - refTableOff) / ly.clusterSize
+
+	hdr := &Header{
+		Magic:            Magic,
+		Version:          Version,
+		ClusterBits:      uint32(cb),
+		Size:             uint64(opts.Size),
+		L1Size:           uint32(l1Entries),
+		L1TableOffset:    uint64(l1Off),
+		RefTableOffset:   uint64(refTableOff),
+		RefTableClusters: uint32(refTableClusters),
+		RefcountOrder:    refcountOrder,
+		BackingFile:      opts.BackingFile,
+	}
+	if opts.CacheQuota > 0 {
+		hdr.HasCacheExt = true
+		hdr.CacheQuota = uint64(opts.CacheQuota)
+		if opts.CacheQuota < metaClusters*ly.clusterSize {
+			return nil, ErrQuotaTooSmall
+		}
+	}
+
+	hdrBuf, err := hdr.encode(ly.clusterSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(metaClusters * ly.clusterSize); err != nil {
+		return nil, err
+	}
+	if err := backend.WriteFull(f, hdrBuf, 0); err != nil {
+		return nil, err
+	}
+
+	img := &Image{
+		f:        f,
+		hdr:      hdr,
+		ly:       ly,
+		l1:       make([]uint64, l1Entries),
+		refTable: make([]uint64, refTableClusters*ly.clusterSize/refTableEntrySz),
+		l2c:      newL2Cache(defaultL2CacheTables(ly)),
+		nextFree: metaClusters,
+		isCache:  hdr.IsCache(),
+		quota:    opts.CacheQuota,
+	}
+
+	// Install the first refcount block and account all metadata clusters.
+	img.refTable[0] = uint64(firstRefBlockOff)
+	if err := img.writeRefTableEntry(0); err != nil {
+		return nil, err
+	}
+	for c := int64(0); c < metaClusters; c++ {
+		if err := img.setRefcount(c, 1); err != nil {
+			return nil, err
+		}
+	}
+	if err := img.syncCacheUsed(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Open parses the image in f. The §4.3 permission dance (open backing files
+// read-write, then re-open read-only when they turn out not to be cache
+// images) is realised by the caller choosing opts.ReadOnly from
+// Header.IsCache; see chain.OpenChain.
+func Open(f backend.File, opts OpenOpts) (*Image, error) {
+	sz, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if sz < headerLength {
+		return nil, ErrBadHeader
+	}
+	// The cluster size is inside the header: probe the fixed header
+	// first, then read exactly the first cluster, which holds the
+	// extensions and backing name. (Keeping this read small matters when
+	// the container sits behind a counted or remote medium.)
+	var fixed [headerLength]byte
+	if err := backend.ReadFull(f, fixed[:], 0); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(fixed[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	cb := binary.BigEndian.Uint32(fixed[20:])
+	if cb < MinClusterBits || cb > MaxClusterBits {
+		return nil, ErrBadClusterBits
+	}
+	probe := int64(1) << cb
+	if probe > sz {
+		probe = sz
+	}
+	buf := make([]byte, probe)
+	if err := backend.ReadFull(f, buf, 0); err != nil {
+		return nil, err
+	}
+	hdr, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	ly := newLayout(hdr.ClusterBits)
+	if int64(hdr.L1TableOffset)%ly.clusterSize != 0 || int64(hdr.RefTableOffset)%ly.clusterSize != 0 {
+		return nil, fmt.Errorf("%w: misaligned tables", ErrCorrupt)
+	}
+
+	img := &Image{
+		f:        f,
+		hdr:      hdr,
+		ly:       ly,
+		ro:       opts.ReadOnly,
+		l2c:      newL2Cache(defaultL2CacheTables(ly)),
+		nextFree: ceilDiv(sz, ly.clusterSize),
+		isCache:  hdr.IsCache(),
+		quota:    int64(hdr.CacheQuota),
+	}
+	// Load L1.
+	img.l1 = make([]uint64, hdr.L1Size)
+	l1buf := make([]byte, int64(hdr.L1Size)*l1EntrySize)
+	if len(l1buf) > 0 {
+		if err := backend.ReadFull(f, l1buf, int64(hdr.L1TableOffset)); err != nil {
+			return nil, fmt.Errorf("qcow: reading L1 table: %w", err)
+		}
+	}
+	for i := range img.l1 {
+		img.l1[i] = binary.BigEndian.Uint64(l1buf[i*8:])
+	}
+	// Load refcount table.
+	rtBytes := int64(hdr.RefTableClusters) * ly.clusterSize
+	img.refTable = make([]uint64, rtBytes/refTableEntrySz)
+	rtbuf := make([]byte, rtBytes)
+	if err := backend.ReadFull(f, rtbuf, int64(hdr.RefTableOffset)); err != nil {
+		return nil, fmt.Errorf("qcow: reading refcount table: %w", err)
+	}
+	for i := range img.refTable {
+		img.refTable[i] = binary.BigEndian.Uint64(rtbuf[i*8:])
+	}
+	// A cache image that was filled to (or near) quota in a previous run
+	// resumes in the "stop filling" state when it cannot take one more
+	// cluster plus worst-case metadata.
+	if img.isCache && img.usedBytes()+img.worstCaseFillBytes() > img.quota {
+		img.cacheFull = true
+	}
+	return img, nil
+}
+
+// Header returns a copy of the decoded header.
+func (img *Image) Header() Header { return *img.hdr }
+
+// Size reports the virtual disk size, implementing BlockSource.
+func (img *Image) Size() int64 { return int64(img.hdr.Size) }
+
+// ClusterSize reports the cluster size in bytes.
+func (img *Image) ClusterSize() int64 { return img.ly.clusterSize }
+
+// IsCache reports whether this is a cache image (quota > 0).
+func (img *Image) IsCache() bool { return img.isCache }
+
+// CacheFull reports whether the cache has stopped filling (space error seen
+// or resumed at/near quota).
+func (img *Image) CacheFull() bool {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return img.cacheFull
+}
+
+// Quota reports the cache quota in bytes (0 for non-cache images).
+func (img *Image) Quota() int64 { return img.quota }
+
+// UsedBytes reports the current physical size of the image file — the
+// "current size of the cache" header field for cache images.
+func (img *Image) UsedBytes() int64 {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return img.usedBytes()
+}
+
+func (img *Image) usedBytes() int64 { return img.nextFree * img.ly.clusterSize }
+
+// SetBacking installs the backing source reads recurse to. It must be called
+// before reads when the header names a backing file; chain.OpenChain does
+// this automatically.
+func (img *Image) SetBacking(b BlockSource) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	img.backing = b
+}
+
+// Backing returns the installed backing source (nil if none).
+func (img *Image) Backing() BlockSource {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return img.backing
+}
+
+// Stats exposes the image's data-path counters.
+func (img *Image) Stats() *Stats { return &img.stats }
+
+// BackingName reports the backing file name recorded in the header.
+func (img *Image) BackingName() string { return img.hdr.BackingFile }
+
+// syncCacheUsed persists the cache's current size into the header extension
+// ("when closing a QCOW2 image, if the cache quota field is present, the
+// (new) current size of the cache is written back", §4.3 close). Harmless
+// no-op for non-cache images.
+func (img *Image) syncCacheUsed() error {
+	if !img.hdr.HasCacheExt {
+		return nil
+	}
+	img.hdr.CacheUsed = uint64(img.usedBytes())
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], img.hdr.CacheUsed)
+	return backend.WriteFull(img.f, b[:], img.hdr.cacheExtFileOffset()+8)
+}
+
+// Sync flushes metadata and the container.
+func (img *Image) Sync() error {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return ErrClosed
+	}
+	if !img.ro {
+		if err := img.syncCacheUsed(); err != nil {
+			return err
+		}
+	}
+	return img.f.Sync()
+}
+
+// Close writes back the cache's current size (for cache images), syncs, and
+// closes the container.
+func (img *Image) Close() error {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return ErrClosed
+	}
+	img.closed = true
+	if !img.ro {
+		if err := img.syncCacheUsed(); err != nil {
+			img.f.Close() //nolint:errcheck // best-effort release on error path
+			return err
+		}
+		if err := img.f.Sync(); err != nil {
+			img.f.Close() //nolint:errcheck
+			return err
+		}
+	}
+	return img.f.Close()
+}

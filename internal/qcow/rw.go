@@ -1,0 +1,417 @@
+package qcow
+
+import (
+	"io"
+
+	"vmicache/internal/backend"
+)
+
+// ReadAt implements guest reads with backing recursion (§4.3 read).
+//
+// For a plain CoW image, an unallocated cluster is read from the backing
+// source *at request granularity* — on-demand transfer fetches only what the
+// guest asked for. For a cache image, a miss fetches the *full cluster* from
+// the backing source, stores it (copy-on-read), then serves the request;
+// that cluster-granularity fill is exactly what makes 64 KiB cache clusters
+// amplify base traffic in Fig. 9 and why §5.1 drops cache images to 512-byte
+// clusters. A fill that would exceed the quota raises the internal space
+// error: the image stops filling for the rest of its lifetime and serves all
+// further misses by pass-through.
+func (img *Image) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, ErrOutOfRange
+	}
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return 0, ErrClosed
+	}
+	size := int64(img.hdr.Size)
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	var errEOF error
+	if off+int64(n) > size {
+		n = int(size - off)
+		errEOF = io.EOF
+	}
+	img.stats.GuestReadOps.Add(1)
+	img.stats.GuestReadBytes.Add(int64(n))
+
+	done := 0
+	for done < n {
+		pos := off + int64(done)
+		vc := pos / img.ly.clusterSize
+		inOff := pos % img.ly.clusterSize
+		want := n - done
+		if avail := int(img.ly.clusterSize - inOff); want > avail {
+			want = avail
+		}
+		seg := p[done : done+want]
+
+		m, err := img.lookup(vc)
+		if err != nil {
+			return done, err
+		}
+		switch {
+		case m.dataOff != 0 && m.compressed:
+			data, err := img.readCompressedLocked(m.dataOff)
+			if err != nil {
+				return done, err
+			}
+			copy(seg, data[inOff:])
+			done += want
+		case m.dataOff != 0:
+			// Coalesce physically contiguous allocated clusters
+			// into one container read: cache fills allocate in
+			// guest-read order, so warm reads are mostly one
+			// contiguous extent regardless of cluster size.
+			run := int64(1)
+			for (vc+run)*img.ly.clusterSize < off+int64(n) {
+				mm, err := img.lookup(vc + run)
+				if err != nil {
+					return done, err
+				}
+				if mm.compressed || mm.dataOff != m.dataOff+run*img.ly.clusterSize {
+					break
+				}
+				run++
+			}
+			want = n - done
+			if avail := run*img.ly.clusterSize - inOff; int64(want) > avail {
+				want = int(avail)
+			}
+			seg = p[done : done+want]
+			if err := backend.ReadFull(img.f, seg, m.dataOff+inOff); err != nil {
+				return done, err
+			}
+			if img.isCache {
+				img.stats.LocalBytes.Add(int64(want))
+			}
+			done += want
+		case img.backing != nil:
+			// Coalesce the run of consecutive unallocated clusters
+			// covered by this request into ONE backing fetch — the
+			// request-sized read the remote file system actually
+			// sees. A cache image then fills each cluster of the
+			// run from the fetched (cluster-rounded) buffer.
+			run, err := img.unallocatedRun(vc, off+int64(n))
+			if err != nil {
+				return done, err
+			}
+			spanEnd := minI64(off+int64(n), (vc+run)*img.ly.clusterSize)
+			span := p[done : int64(done)+spanEnd-pos]
+			if img.isCache && !img.ro && !img.cacheFull {
+				if err := img.fillRunLocked(vc, run, pos, span); err != nil {
+					return done, err
+				}
+			} else if err := img.readBackingLocked(span, pos); err != nil {
+				return done, err
+			}
+			done += len(span)
+		default:
+			for i := range seg {
+				seg[i] = 0
+			}
+			done += want
+		}
+	}
+	return n, errEOF
+}
+
+// unallocatedRun counts consecutive unallocated clusters starting at vc that
+// intersect the request ending at reqEnd (byte offset). Always >= 1.
+func (img *Image) unallocatedRun(vc, reqEnd int64) (int64, error) {
+	maxVC := ceilDiv(reqEnd, img.ly.clusterSize)
+	run := int64(1)
+	for vc+run < maxVC {
+		m, err := img.lookup(vc + run)
+		if err != nil {
+			return run, err
+		}
+		if m.dataOff != 0 {
+			break
+		}
+		run++
+	}
+	return run, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// readBackingLocked reads [pos, pos+len(seg)) from the backing source,
+// counting the traffic. Reads past the backing's size (a smaller base) read
+// as zeros.
+func (img *Image) readBackingLocked(seg []byte, pos int64) error {
+	img.stats.BackingReadOps.Add(1)
+	img.stats.BackingBytes.Add(int64(len(seg)))
+	bsz := img.backing.Size()
+	if pos >= bsz {
+		for i := range seg {
+			seg[i] = 0
+		}
+		return nil
+	}
+	n := len(seg)
+	if pos+int64(n) > bsz {
+		n = int(bsz - pos)
+	}
+	if err := backend.ReadFull(img.backing, seg[:n], pos); err != nil {
+		return err
+	}
+	for i := n; i < len(seg); i++ {
+		seg[i] = 0
+	}
+	return nil
+}
+
+// fillRunLocked performs one copy-on-read fill over a run of consecutive
+// unallocated clusters: fetch the cluster-rounded span in a single backing
+// read, store as many clusters as the quota admits (including all metadata
+// the allocations create), and satisfy the waiting span. If any part of the
+// run does not fit, the space error trips: the image stops filling for its
+// remaining lifetime, and the uncovered tail is served by pass-through.
+//
+// span starts at guest offset pos and ends within the run.
+func (img *Image) fillRunLocked(vc, run, pos int64, span []byte) error {
+	cs := img.ly.clusterSize
+	// Largest prefix of the run whose allocation fits the quota
+	// (monotone in the prefix length -> binary search).
+	fits := func(k int64) bool {
+		return img.usedBytes()+img.runAllocCost(vc, k)*cs <= img.quota
+	}
+	lo, hi := int64(0), run
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	fit := lo
+	if fit < run {
+		img.cacheFull = true
+		img.stats.CacheFullEvents.Add(1)
+	}
+	if fit == 0 {
+		return img.readBackingLocked(span, pos)
+	}
+
+	fetchStart := vc * cs
+	fetchLen := fit * cs
+	if fetchStart+fetchLen > int64(img.hdr.Size) {
+		fetchLen = int64(img.hdr.Size) - fetchStart
+	}
+	buf := make([]byte, fit*cs)
+	if err := img.readBackingLocked(buf[:fetchLen], fetchStart); err != nil {
+		return err
+	}
+	for i := int64(0); i < fit; i++ {
+		m, err := img.ensureL2(vc + i)
+		if err != nil {
+			return err
+		}
+		dataOff, err := img.allocCluster(false)
+		if err != nil {
+			return err
+		}
+		if err := backend.WriteFull(img.f, buf[i*cs:(i+1)*cs], dataOff); err != nil {
+			return err
+		}
+		if err := img.bindCluster(&m, dataOff); err != nil {
+			return err
+		}
+	}
+	img.stats.CacheFillOps.Add(fit)
+	img.stats.CacheFillBytes.Add(minI64(fetchLen, fit*cs))
+
+	// Serve the span: the filled prefix from buf, any tail by
+	// pass-through.
+	filledEnd := fetchStart + fit*cs
+	served := minI64(pos+int64(len(span)), filledEnd) - pos
+	copy(span[:served], buf[pos-fetchStart:])
+	if served < int64(len(span)) {
+		return img.readBackingLocked(span[served:], pos+served)
+	}
+	return nil
+}
+
+// runAllocCost computes how many clusters filling k data clusters starting
+// at vc will consume, counting missing L2 tables and refcount metadata.
+func (img *Image) runAllocCost(vc, k int64) int64 {
+	extra := k
+	firstL1 := vc / img.ly.l2Entries
+	lastL1 := (vc + k - 1) / img.ly.l2Entries
+	for i := firstL1; i <= lastL1 && i < int64(len(img.l1)); i++ {
+		if img.l1[i]&entryOffsetMask == 0 {
+			extra++
+		}
+	}
+	return img.clustersNeededFor(extra)
+}
+
+// WriteAt implements guest writes (§4.3 write). Cache images are immutable
+// with respect to the guest: "all writes coming from the VM itself go to the
+// CoW image" (§3.1), so a guest write to a cache image is an error. For CoW
+// images, writing part of an unallocated cluster triggers a copy-on-write
+// fill: the remainder of the cluster is fetched from the backing chain so
+// the newly allocated cluster is complete.
+func (img *Image) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, ErrOutOfRange
+	}
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return 0, ErrClosed
+	}
+	if img.ro {
+		return 0, ErrReadOnly
+	}
+	if img.isCache {
+		return 0, ErrCacheImmutable
+	}
+	size := int64(img.hdr.Size)
+	if off+int64(len(p)) > size {
+		return 0, ErrOutOfRange
+	}
+	n := len(p)
+	img.stats.GuestWriteOps.Add(1)
+	img.stats.GuestWriteBytes.Add(int64(n))
+
+	done := 0
+	for done < n {
+		pos := off + int64(done)
+		vc := pos / img.ly.clusterSize
+		inOff := pos % img.ly.clusterSize
+		want := n - done
+		if avail := int(img.ly.clusterSize - inOff); want > avail {
+			want = avail
+		}
+		seg := p[done : done+want]
+
+		m, err := img.lookup(vc)
+		if err != nil {
+			return done, err
+		}
+		if m.dataOff != 0 && !m.compressed {
+			if err := backend.WriteFull(img.f, seg, m.dataOff+inOff); err != nil {
+				return done, err
+			}
+			done += want
+			continue
+		}
+		if m.compressed {
+			// Copy-on-write out of a compressed cluster: inflate,
+			// merge, store raw, release the blob's clusters.
+			blobOff := m.dataOff
+			old, err := img.readCompressedLocked(blobOff)
+			if err != nil {
+				return done, err
+			}
+			buf := make([]byte, img.ly.clusterSize)
+			copy(buf, old)
+			copy(buf[inOff:], seg)
+			dataOff, err := img.allocCluster(false)
+			if err != nil {
+				return done, err
+			}
+			if err := backend.WriteFull(img.f, buf, dataOff); err != nil {
+				return done, err
+			}
+			if err := img.bindCluster(&m, dataOff); err != nil {
+				return done, err
+			}
+			if err := img.releaseBlobLocked(blobOff); err != nil {
+				return done, err
+			}
+			done += want
+			continue
+		}
+
+		// Copy-on-write allocation.
+		m2, err := img.ensureL2(vc)
+		if err != nil {
+			return done, err
+		}
+		clusterStart := vc * img.ly.clusterSize
+		clusterLen := img.ly.clusterSize
+		if clusterStart+clusterLen > size {
+			clusterLen = size - clusterStart
+		}
+		buf := make([]byte, img.ly.clusterSize)
+		fullCover := inOff == 0 && int64(want) >= clusterLen
+		if !fullCover && img.backing != nil {
+			if err := img.readBackingLocked(buf[:clusterLen], clusterStart); err != nil {
+				return done, err
+			}
+			img.stats.CowFillBytes.Add(clusterLen)
+		}
+		copy(buf[inOff:], seg)
+		dataOff, err := img.allocCluster(false)
+		if err != nil {
+			return done, err
+		}
+		if err := backend.WriteFull(img.f, buf, dataOff); err != nil {
+			return done, err
+		}
+		if err := img.bindCluster(&m2, dataOff); err != nil {
+			return done, err
+		}
+		done += want
+	}
+	return n, nil
+}
+
+// Allocated reports whether the cluster containing virtual offset off is
+// materialised in this image (not deferring to backing).
+func (img *Image) Allocated(off int64) (bool, error) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return false, ErrClosed
+	}
+	if off < 0 || off >= int64(img.hdr.Size) {
+		return false, ErrOutOfRange
+	}
+	m, err := img.lookup(off / img.ly.clusterSize)
+	if err != nil {
+		return false, err
+	}
+	return m.dataOff != 0, nil
+}
+
+// AllocatedDataClusters counts materialised data clusters (excluding
+// metadata); used by tests and `qimg info`.
+func (img *Image) AllocatedDataClusters() (int64, error) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.closed {
+		return 0, ErrClosed
+	}
+	var count int64
+	for l1i, l1e := range img.l1 {
+		l2Off := int64(l1e & entryOffsetMask)
+		if l2Off == 0 {
+			continue
+		}
+		t, err := img.loadL2(l2Off)
+		if err != nil {
+			return 0, err
+		}
+		_ = l1i
+		for _, e := range t {
+			if e&entryOffsetMask != 0 {
+				count++
+			}
+		}
+	}
+	return count, nil
+}

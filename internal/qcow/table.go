@@ -1,0 +1,205 @@
+package qcow
+
+import (
+	"encoding/binary"
+
+	"vmicache/internal/backend"
+)
+
+// defaultL2CacheTables sizes the in-memory L2 table cache for a layout.
+// With 64 KiB clusters one table covers 512 MiB, so a handful suffices; with
+// 512 B clusters one table covers only 32 KiB, so boots touch thousands.
+// Target enough tables to cover 512 MiB of virtual disk, clamped to keep
+// memory bounded (tables are one cluster each).
+func defaultL2CacheTables(ly layout) int {
+	const targetCoverage = 512 << 20
+	n := int64(targetCoverage) / ly.l2Coverage
+	if n < 64 {
+		n = 64
+	}
+	if n > 16384 {
+		n = 16384
+	}
+	return int(n)
+}
+
+// l2Cache is a small LRU of decoded L2 tables keyed by their file offset.
+// Entries are write-through: updates are persisted immediately, so eviction
+// never loses data.
+type l2Cache struct {
+	cap  int
+	m    map[int64]*l2Entry
+	head *l2Entry // most recent
+	tail *l2Entry // least recent
+	hits int64
+	miss int64
+}
+
+type l2Entry struct {
+	off        int64
+	table      []uint64
+	prev, next *l2Entry
+}
+
+func newL2Cache(capTables int) *l2Cache {
+	if capTables < 1 {
+		capTables = 1
+	}
+	return &l2Cache{cap: capTables, m: make(map[int64]*l2Entry)}
+}
+
+func (c *l2Cache) get(off int64) ([]uint64, bool) {
+	e, ok := c.m[off]
+	if !ok {
+		c.miss++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.table, true
+}
+
+func (c *l2Cache) put(off int64, table []uint64) {
+	if e, ok := c.m[off]; ok {
+		e.table = table
+		c.moveToFront(e)
+		return
+	}
+	e := &l2Entry{off: off, table: table}
+	c.m[off] = e
+	c.pushFront(e)
+	if len(c.m) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.m, evict.off)
+	}
+}
+
+func (c *l2Cache) pushFront(e *l2Entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *l2Cache) unlink(e *l2Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *l2Cache) moveToFront(e *l2Entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// loadL2 returns the decoded L2 table stored at file offset off.
+func (img *Image) loadL2(off int64) ([]uint64, error) {
+	if t, ok := img.l2c.get(off); ok {
+		return t, nil
+	}
+	buf := make([]byte, img.ly.clusterSize)
+	if err := backend.ReadFull(img.f, buf, off); err != nil {
+		return nil, err
+	}
+	t := make([]uint64, img.ly.l2Entries)
+	for i := range t {
+		t[i] = binary.BigEndian.Uint64(buf[i*8:])
+	}
+	img.l2c.put(off, t)
+	return t, nil
+}
+
+// writeL1Entry persists one L1 slot (write-through).
+func (img *Image) writeL1Entry(idx int64) error {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], img.l1[idx])
+	return backend.WriteFull(img.f, b[:], int64(img.hdr.L1TableOffset)+idx*l1EntrySize)
+}
+
+// writeL2Entry persists one slot of the L2 table at l2Off (write-through).
+func (img *Image) writeL2Entry(l2Off int64, idx int64, val uint64) error {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], val)
+	return backend.WriteFull(img.f, b[:], l2Off+idx*l2EntrySize)
+}
+
+// mapping is the result of translating a virtual cluster index.
+type mapping struct {
+	dataOff    int64 // physical offset of the data cluster; 0 = unallocated
+	l2Off      int64 // physical offset of the L2 table; 0 = no L2 table yet
+	l2Index    int64 // slot within the L2 table
+	l1Index    int64
+	compressed bool // dataOff points at a deflate blob
+}
+
+// lookup translates virtual cluster index vc without allocating.
+func (img *Image) lookup(vc int64) (mapping, error) {
+	var m mapping
+	m.l1Index = vc / img.ly.l2Entries
+	m.l2Index = vc % img.ly.l2Entries
+	if m.l1Index >= int64(len(img.l1)) {
+		return m, ErrOutOfRange
+	}
+	l1e := img.l1[m.l1Index]
+	m.l2Off = int64(l1e & entryOffsetMask)
+	if m.l2Off == 0 {
+		return m, nil
+	}
+	t, err := img.loadL2(m.l2Off)
+	if err != nil {
+		return m, err
+	}
+	m.dataOff = int64(t[m.l2Index] & entryOffsetMask)
+	m.compressed = t[m.l2Index]&entryCompressed != 0
+	return m, nil
+}
+
+// ensureL2 returns the mapping for vc, allocating an L2 table if missing.
+func (img *Image) ensureL2(vc int64) (mapping, error) {
+	m, err := img.lookup(vc)
+	if err != nil {
+		return m, err
+	}
+	if m.l2Off != 0 {
+		return m, nil
+	}
+	off, err := img.allocCluster(true)
+	if err != nil {
+		return m, err
+	}
+	m.l2Off = off
+	img.l1[m.l1Index] = uint64(off) | entryCopied
+	if err := img.writeL1Entry(m.l1Index); err != nil {
+		return m, err
+	}
+	img.l2c.put(off, make([]uint64, img.ly.l2Entries))
+	return m, nil
+}
+
+// bindCluster installs a data cluster at the mapping's slot.
+func (img *Image) bindCluster(m *mapping, dataOff int64) error {
+	t, err := img.loadL2(m.l2Off)
+	if err != nil {
+		return err
+	}
+	t[m.l2Index] = uint64(dataOff) | entryCopied
+	m.dataOff = dataOff
+	return img.writeL2Entry(m.l2Off, m.l2Index, t[m.l2Index])
+}

@@ -1,0 +1,246 @@
+package rblock
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"vmicache/internal/backend"
+)
+
+// Client multiplexes remote files over one TCP connection. Requests are
+// synchronous (one outstanding at a time), like the sync NFS reads of the
+// paper's boot workload.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	rwsize int
+	closed bool
+}
+
+// Dial connects to a server. rwsize caps per-request transfers (0 uses the
+// default); it must not exceed the server's limit.
+func Dial(addr string, rwsize int) (*Client, error) {
+	if rwsize <= 0 {
+		rwsize = DefaultRWSize
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 128<<10),
+		bw:     bufio.NewWriterSize(conn, 128<<10),
+		rwsize: rwsize,
+	}, nil
+}
+
+// Close terminates the connection; open RemoteFiles become unusable.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// roundTrip sends a request and reads its response.
+func (c *Client) roundTrip(req *frame) (*frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if err := writeFrame(c.bw, req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if resp.op != req.op|replyFlag {
+		return nil, fmt.Errorf("%w: mismatched reply op %#x", ErrBadFrame, resp.op)
+	}
+	if err := statusErr(resp.status); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// RemoteFile is an open remote file implementing backend.File.
+type RemoteFile struct {
+	c      *Client
+	handle uint32
+	size   int64
+	ro     bool
+	closed bool
+	mu     sync.Mutex
+}
+
+// Open opens a remote file by its export name.
+func (c *Client) Open(name string, readOnly bool) (*RemoteFile, error) {
+	var flags uint8
+	if readOnly {
+		flags = 1
+	}
+	resp, err := c.roundTrip(&frame{op: OpOpen, flags: flags, payload: []byte(name)})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteFile{c: c, handle: resp.handle, size: int64(resp.aux), ro: readOnly}, nil
+}
+
+// ReadAt reads remotely, segmenting to the negotiated rwsize. Reads past the
+// remote end yield io.EOF with a short count, matching io.ReaderAt.
+func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, ErrBadRequest
+	}
+	done := 0
+	for done < len(p) {
+		want := len(p) - done
+		if want > f.c.rwsize {
+			want = f.c.rwsize
+		}
+		resp, err := f.c.roundTrip(&frame{
+			op:     OpRead,
+			handle: f.handle,
+			offset: uint64(off + int64(done)),
+			aux:    uint64(want),
+		})
+		if err != nil {
+			return done, err
+		}
+		n := copy(p[done:], resp.payload)
+		done += n
+		if n < want {
+			return done, io.EOF
+		}
+	}
+	return done, nil
+}
+
+// WriteAt writes remotely in rwsize segments.
+func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.ro {
+		return 0, ErrReadOnly
+	}
+	done := 0
+	for done < len(p) {
+		want := len(p) - done
+		if want > f.c.rwsize {
+			want = f.c.rwsize
+		}
+		_, err := f.c.roundTrip(&frame{
+			op:      OpWrite,
+			handle:  f.handle,
+			offset:  uint64(off + int64(done)),
+			payload: p[done : done+want],
+		})
+		if err != nil {
+			return done, err
+		}
+		done += want
+	}
+	if end := off + int64(len(p)); end > f.size {
+		f.mu.Lock()
+		if end > f.size {
+			f.size = end
+		}
+		f.mu.Unlock()
+	}
+	return done, nil
+}
+
+// Size queries the remote size.
+func (f *RemoteFile) Size() (int64, error) {
+	resp, err := f.c.roundTrip(&frame{op: OpStat, handle: f.handle})
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	f.size = int64(resp.aux)
+	f.mu.Unlock()
+	return int64(resp.aux), nil
+}
+
+// Truncate resizes the remote file.
+func (f *RemoteFile) Truncate(n int64) error {
+	if f.ro {
+		return ErrReadOnly
+	}
+	_, err := f.c.roundTrip(&frame{op: OpTruncate, handle: f.handle, aux: uint64(n)})
+	if err == nil {
+		f.mu.Lock()
+		f.size = n
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// Sync flushes the remote file.
+func (f *RemoteFile) Sync() error {
+	_, err := f.c.roundTrip(&frame{op: OpSync, handle: f.handle})
+	return err
+}
+
+// Close releases the remote handle (the connection stays open for other
+// files).
+func (f *RemoteFile) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	_, err := f.c.roundTrip(&frame{op: OpClose, handle: f.handle})
+	return err
+}
+
+// RemoteStore adapts a Client to backend.Store, so a remote export can be
+// registered in a core.Namespace and backing-file names like
+// "storage:centos.img" resolve across the network. Create and Remove are
+// not part of the wire protocol — exports are managed server-side — so they
+// fail with ErrReadOnly.
+type RemoteStore struct {
+	C *Client
+}
+
+// Open opens a remote file as a backend.File.
+func (s RemoteStore) Open(name string, readOnly bool) (backend.File, error) {
+	return s.C.Open(name, readOnly)
+}
+
+// Create is unsupported on remote stores.
+func (s RemoteStore) Create(name string) (backend.File, error) {
+	return nil, fmt.Errorf("%w: remote stores cannot create %q", ErrReadOnly, name)
+}
+
+// Remove is unsupported on remote stores.
+func (s RemoteStore) Remove(name string) error {
+	return fmt.Errorf("%w: remote stores cannot remove %q", ErrReadOnly, name)
+}
+
+// Stat reports a remote file's size by opening it briefly.
+func (s RemoteStore) Stat(name string) (int64, error) {
+	f, err := s.C.Open(name, true)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close() //nolint:errcheck // read-only probe handle
+	return f.size, nil
+}
+
+// compile-time interface check.
+var _ backend.Store = RemoteStore{}

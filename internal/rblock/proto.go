@@ -1,0 +1,163 @@
+// Package rblock implements a small remote block-file protocol over TCP:
+// the repository's stand-in for the NFS export between the storage node and
+// the compute nodes (§5). A server exports a backend.Store; clients open
+// files by name and get a backend.File whose reads and writes travel over
+// the network in rwsize-bounded segments — the same access pattern the
+// paper tuned NFS for ("we have tuned the NFS rwsize to 64KB ... as the
+// default rwsize of 1MB does not match well with the small-sized read
+// requests during boot time").
+package rblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Magic starts every frame ("RBLK").
+	Magic = 0x52424c4b
+
+	// DefaultRWSize is the default maximum transfer segment, matching
+	// the paper's tuned NFS rwsize.
+	DefaultRWSize = 64 << 10
+
+	// MaxNameLen bounds export names.
+	MaxNameLen = 4096
+
+	// maxPayload bounds any single frame's payload (sanity limit).
+	maxPayload = 8 << 20
+)
+
+// Op identifies a request/response type.
+type Op uint8
+
+// Protocol operations; responses reuse the request op with the reply flag.
+const (
+	OpOpen Op = iota + 1
+	OpRead
+	OpWrite
+	OpSync
+	OpTruncate
+	OpStat
+	OpClose
+
+	// replyFlag marks response frames.
+	replyFlag = 0x80
+)
+
+// Status codes.
+const (
+	StatusOK uint32 = iota
+	StatusNotFound
+	StatusIO
+	StatusBadRequest
+	StatusReadOnly
+)
+
+// Errors surfaced by the client.
+var (
+	ErrBadFrame   = errors.New("rblock: malformed frame")
+	ErrNotFound   = errors.New("rblock: no such file")
+	ErrRemoteIO   = errors.New("rblock: remote I/O error")
+	ErrBadRequest = errors.New("rblock: bad request")
+	ErrReadOnly   = errors.New("rblock: file is read-only")
+	ErrClosed     = errors.New("rblock: connection closed")
+)
+
+func statusErr(s uint32) error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusBadRequest:
+		return ErrBadRequest
+	case StatusReadOnly:
+		return ErrReadOnly
+	default:
+		return ErrRemoteIO
+	}
+}
+
+// frame is the wire unit. Layout (big-endian):
+//
+//	magic  u32
+//	op     u8
+//	flags  u8  (bit0: read-only open)
+//	status u16 (responses; low 16 bits of status code)
+//	handle u32
+//	offset u64
+//	length u32 (payload length)
+//	aux    u64 (sizes: open/stat result, truncate target)
+//	payload [length]bytes
+const frameHeaderLen = 4 + 1 + 1 + 2 + 4 + 8 + 4 + 8
+
+type frame struct {
+	op      Op
+	flags   uint8
+	status  uint32
+	handle  uint32
+	offset  uint64
+	aux     uint64
+	payload []byte
+}
+
+// writeFrame serialises f to w.
+func writeFrame(w io.Writer, f *frame) error {
+	if len(f.payload) > maxPayload {
+		return fmt.Errorf("%w: payload %d", ErrBadFrame, len(f.payload))
+	}
+	var hdr [frameHeaderLen]byte
+	be := binary.BigEndian
+	be.PutUint32(hdr[0:], Magic)
+	hdr[4] = byte(f.op)
+	hdr[5] = f.flags
+	be.PutUint16(hdr[6:], uint16(f.status))
+	be.PutUint32(hdr[8:], f.handle)
+	be.PutUint64(hdr[12:], f.offset)
+	be.PutUint32(hdr[20:], uint32(len(f.payload)))
+	be.PutUint64(hdr[24:], f.aux)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.payload) > 0 {
+		if _, err := w.Write(f.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame deserialises one frame from r.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	be := binary.BigEndian
+	if be.Uint32(hdr[0:]) != Magic {
+		return nil, ErrBadFrame
+	}
+	f := &frame{
+		op:     Op(hdr[4]),
+		flags:  hdr[5],
+		status: uint32(be.Uint16(hdr[6:])),
+		handle: be.Uint32(hdr[8:]),
+		offset: be.Uint64(hdr[12:]),
+		aux:    be.Uint64(hdr[24:]),
+	}
+	n := be.Uint32(hdr[20:])
+	if n > maxPayload {
+		return nil, ErrBadFrame
+	}
+	if n > 0 {
+		f.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,389 @@
+package rblock
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/boot"
+	"vmicache/internal/core"
+	"vmicache/internal/qcow"
+)
+
+// newServer starts a server over a fresh MemStore and returns (store, addr,
+// cleanup-registered server).
+func newServer(t *testing.T, opts ServerOpts) (*backend.MemStore, string, *Server) {
+	t.Helper()
+	store := backend.NewMemStore()
+	srv := NewServer(store, opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	return store, addr, srv
+}
+
+func dial(t *testing.T, addr string, rwsize int) *Client {
+	t.Helper()
+	c, err := Dial(addr, rwsize)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck
+	return c
+}
+
+func TestRemoteReadWriteRoundTrip(t *testing.T) {
+	store, addr, srv := newServer(t, ServerOpts{})
+	f, err := store.Create("disk.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := bytes.Repeat([]byte{0xCD}, 100<<10)
+	if err := backend.WriteFull(f, seed, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr, 0)
+	rf, err := c.Open("disk.img", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size from open.
+	if sz, err := rf.Size(); err != nil || sz != int64(len(seed)) {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+	// Segmented read (> rwsize).
+	got := make([]byte, len(seed))
+	if err := backend.ReadFull(rf, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, seed) {
+		t.Fatal("read mismatch")
+	}
+	// Reads are segmented at the server too.
+	if srv.Stats().ReadOps.Load() < 2 {
+		t.Fatalf("expected segmented reads, got %d ops", srv.Stats().ReadOps.Load())
+	}
+	// Write + read-back + sync + truncate.
+	payload := []byte("written remotely")
+	if err := backend.WriteFull(rf, payload, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, len(payload))
+	if err := backend.ReadFull(rf, back, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(payload) {
+		t.Fatalf("write round trip: %q", back)
+	}
+	if err := rf.Truncate(1234); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := rf.Size(); sz != 1234 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteEOFSemantics(t *testing.T) {
+	store, addr, _ := newServer(t, ServerOpts{})
+	f, _ := store.Create("small")
+	if err := backend.WriteFull(f, []byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr, 0)
+	rf, err := c.Open("small", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 20)
+	n, err := rf.ReadAt(buf, 0)
+	if n != 10 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+}
+
+func TestRemoteOpenMissing(t *testing.T) {
+	_, addr, _ := newServer(t, ServerOpts{})
+	c := dial(t, addr, 0)
+	if _, err := c.Open("ghost", true); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadOnlyHandleAndServer(t *testing.T) {
+	store, addr, _ := newServer(t, ServerOpts{})
+	store.Create("x") //nolint:errcheck
+	c := dial(t, addr, 0)
+	rf, err := c.Open("x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.WriteAt([]byte{1}, 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("RO handle write: %v", err)
+	}
+	if err := rf.Truncate(5); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("RO handle truncate: %v", err)
+	}
+
+	// Whole-server read-only export.
+	store2 := backend.NewMemStore()
+	store2.Create("y") //nolint:errcheck
+	srv2 := NewServer(store2, ServerOpts{ReadOnly: true})
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close() //nolint:errcheck
+	c2 := dial(t, addr2, 0)
+	rf2, err := c2.Open("y", false) // asks RW; server forces RO
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf2.WriteAt([]byte{1}, 0); err == nil {
+		t.Fatal("read-only server accepted a write")
+	}
+}
+
+func TestRWSizeEnforcedByServer(t *testing.T) {
+	store, addr, _ := newServer(t, ServerOpts{RWSize: 4096})
+	f, _ := store.Create("f")
+	backend.WriteFull(f, make([]byte, 64<<10), 0) //nolint:errcheck
+	// Client negotiating a LARGER rwsize gets rejected per request.
+	c := dial(t, addr, 32<<10)
+	rf, err := c.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.ReadAt(make([]byte, 16<<10), 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized read: %v", err)
+	}
+	// A client honouring the limit works.
+	c2 := dial(t, addr, 4096)
+	rf2, err := c2.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.ReadFull(rf2, make([]byte, 16<<10), 0); err != nil {
+		t.Fatalf("segmented read under limit: %v", err)
+	}
+}
+
+func TestMultipleFilesOneConnection(t *testing.T) {
+	store, addr, _ := newServer(t, ServerOpts{})
+	for _, name := range []string{"a", "b"} {
+		f, _ := store.Create(name)
+		backend.WriteFull(f, []byte(name), 0) //nolint:errcheck
+	}
+	c := dial(t, addr, 0)
+	fa, err := c.Open("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := c.Open("b", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := backend.ReadFull(fb, buf, 0); err != nil || buf[0] != 'b' {
+		t.Fatalf("b: %v %q", err, buf)
+	}
+	if err := backend.ReadFull(fa, buf, 0); err != nil || buf[0] != 'a' {
+		t.Fatalf("a: %v %q", err, buf)
+	}
+	if err := fa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// fb still usable after closing fa.
+	if err := backend.ReadFull(fb, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	store, addr, srv := newServer(t, ServerOpts{})
+	content := make([]byte, 256<<10)
+	rand.New(rand.NewSource(4)).Read(content)
+	f, _ := store.Create("shared")
+	backend.WriteFull(f, content, 0) //nolint:errcheck
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(seed int64) {
+			c, err := Dial(addr, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close() //nolint:errcheck
+			rf, err := c.Open("shared", true)
+			if err != nil {
+				errs <- err
+				return
+			}
+			rnd := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 4096)
+			for j := 0; j < 50; j++ {
+				off := rnd.Int63n(int64(len(content) - len(buf)))
+				if err := backend.ReadFull(rf, buf, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf, content[off:off+int64(len(buf))]) {
+					errs <- errors.New("content mismatch")
+					return
+				}
+			}
+			errs <- nil
+		}(int64(i))
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Stats().Conns.Load() != clients {
+		t.Fatalf("conns = %d", srv.Stats().Conns.Load())
+	}
+}
+
+// The integration the whole package exists for: a qcow chain whose base
+// image is accessed over the wire, with a local cache absorbing re-reads.
+func TestQcowChainOverRemoteBase(t *testing.T) {
+	store, addr, srv := newServer(t, ServerOpts{})
+
+	// Base image on the "storage node".
+	const size = 4 << 20
+	src := boot.PatternSource{Seed: 77, N: size}
+	baseF, err := store.Create("base.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseImg, err := qcow.Create(baseF, qcow.CreateOpts{Size: size, ClusterBits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	src.ReadAt(buf, 0) //nolint:errcheck
+	if err := backend.WriteFull(baseImg, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := baseImg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Compute node": open the base over TCP, build cache + CoW on it.
+	c := dial(t, addr, 0)
+	remoteBase, err := c.Open("base.img", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRemote, err := qcow.Open(remoteBase, qcow.OpenOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("opening remote qcow base: %v", err)
+	}
+
+	cacheImg, err := qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
+		Size: size, ClusterBits: 9, BackingFile: "base.img", CacheQuota: size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheImg.SetBacking(baseRemote)
+	cow, err := qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
+		Size: size, ClusterBits: 16, BackingFile: "cache",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cow.SetBacking(cacheImg)
+
+	// Boot-style reads: verified content over the wire.
+	got := make([]byte, 100<<10)
+	if err := backend.ReadFull(cow, got, 512); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src.At(512, 100<<10)) {
+		t.Fatal("remote chain content mismatch")
+	}
+	served := srv.Stats().BytesRead.Load()
+	if served == 0 {
+		t.Fatal("no traffic served")
+	}
+	// Second read: warm cache, no further wire traffic.
+	if err := backend.ReadFull(cow, got, 512); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().BytesRead.Load() != served {
+		t.Fatalf("warm read produced traffic: %d -> %d", served, srv.Stats().BytesRead.Load())
+	}
+}
+
+// RemoteStore plugged into a namespace: the whole §4.4 chain resolves its
+// base across the wire.
+func TestRemoteStoreInNamespace(t *testing.T) {
+	store, addr, _ := newServer(t, ServerOpts{})
+	const size = 2 << 20
+	src := boot.PatternSource{Seed: 3, N: size}
+	f, err := store.Create("base.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := qcow.Create(f, qcow.CreateOpts{Size: size, ClusterBits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	src.ReadAt(buf, 0) //nolint:errcheck
+	if err := backend.WriteFull(img, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr, 0)
+	ns := core.NewNamespace("node", backend.NewMemStore())
+	ns.Register("storage", RemoteStore{C: c})
+
+	cow := core.Locator{Store: "node", Name: "vm.cow"}
+	if err := core.CreateCoW(ns, cow, core.Locator{Store: "storage", Name: "base.img"}, size, 0); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := core.OpenChain(ns, cow, core.ChainOpts{})
+	if err != nil {
+		t.Fatalf("OpenChain across the wire: %v", err)
+	}
+	defer chain.Close() //nolint:errcheck
+	got := make([]byte, 4096)
+	if err := backend.ReadFull(chain, got, 100<<10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src.At(100<<10, 4096)) {
+		t.Fatal("cross-wire chain content mismatch")
+	}
+	// Remote stores reject mutation.
+	if _, err := (RemoteStore{C: c}).Create("x"); err == nil {
+		t.Fatal("remote create succeeded")
+	}
+	if err := (RemoteStore{C: c}).Remove("base.img"); err == nil {
+		t.Fatal("remote remove succeeded")
+	}
+	if sz, err := (RemoteStore{C: c}).Stat("base.img"); err != nil || sz == 0 {
+		t.Fatalf("remote stat: %d %v", sz, err)
+	}
+}

@@ -1,0 +1,281 @@
+package rblock
+
+import (
+	"bufio"
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"vmicache/internal/backend"
+)
+
+// ServerStats aggregates traffic over all connections — the "observed
+// traffic at the storage node" of Fig. 9 for real deployments.
+type ServerStats struct {
+	BytesRead    atomic.Int64 // payload bytes served to clients
+	BytesWritten atomic.Int64 // payload bytes received from clients
+	ReadOps      atomic.Int64
+	WriteOps     atomic.Int64
+	Opens        atomic.Int64
+	Conns        atomic.Int64
+}
+
+// Server exports a Store over TCP.
+type Server struct {
+	store  backend.Store
+	rwsize int
+	stats  ServerStats
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	logf     func(format string, args ...any)
+	readOnly bool
+}
+
+// ServerOpts configures a Server.
+type ServerOpts struct {
+	// RWSize caps per-request transfer size (0 = DefaultRWSize).
+	RWSize int
+	// ReadOnly rejects writes and truncates (a published base-image
+	// export).
+	ReadOnly bool
+	// Logf, when non-nil, receives connection-level errors.
+	Logf func(format string, args ...any)
+}
+
+// NewServer returns a server exporting store.
+func NewServer(store backend.Store, opts ServerOpts) *Server {
+	rw := opts.RWSize
+	if rw <= 0 {
+		rw = DefaultRWSize
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		store:    store,
+		rwsize:   rw,
+		conns:    make(map[net.Conn]struct{}),
+		logf:     logf,
+		readOnly: opts.ReadOnly,
+	}
+}
+
+// Stats exposes the server's traffic counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close() //nolint:errcheck
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.stats.Conns.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close() //nolint:errcheck
+	}
+	return err
+}
+
+// serveConn handles one client connection; per-connection handles map to
+// open files.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close() //nolint:errcheck
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 128<<10)
+	bw := bufio.NewWriterSize(conn, 128<<10)
+	handles := map[uint32]backend.File{}
+	defer func() {
+		for _, f := range handles {
+			f.Close() //nolint:errcheck
+		}
+	}()
+	var nextHandle uint32
+
+	for {
+		req, err := readFrame(br)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+				s.logf("rblock: conn read: %v", err)
+			}
+			return
+		}
+		resp := s.handle(req, handles, &nextHandle)
+		if err := writeFrame(bw, resp); err != nil {
+			s.logf("rblock: conn write: %v", err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			s.logf("rblock: conn flush: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle *uint32) *frame {
+	resp := &frame{op: req.op | replyFlag}
+	fail := func(status uint32) *frame {
+		resp.status = status
+		return resp
+	}
+	switch req.op {
+	case OpOpen:
+		if len(req.payload) == 0 || len(req.payload) > MaxNameLen {
+			return fail(StatusBadRequest)
+		}
+		ro := req.flags&1 != 0 || s.readOnly
+		f, err := s.store.Open(string(req.payload), ro)
+		if err != nil {
+			return fail(StatusNotFound)
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close() //nolint:errcheck
+			return fail(StatusIO)
+		}
+		*nextHandle++
+		handles[*nextHandle] = f
+		resp.handle = *nextHandle
+		resp.aux = uint64(size)
+		s.stats.Opens.Add(1)
+		return resp
+
+	case OpRead:
+		f, ok := handles[req.handle]
+		if !ok || req.aux == 0 || req.aux > uint64(s.rwsize) {
+			return fail(StatusBadRequest)
+		}
+		buf := make([]byte, req.aux)
+		n, err := f.ReadAt(buf, int64(req.offset))
+		if err != nil && n == 0 && err.Error() != "EOF" {
+			return fail(StatusIO)
+		}
+		resp.payload = buf[:n]
+		s.stats.ReadOps.Add(1)
+		s.stats.BytesRead.Add(int64(n))
+		return resp
+
+	case OpWrite:
+		if s.readOnly {
+			return fail(StatusReadOnly)
+		}
+		f, ok := handles[req.handle]
+		if !ok || len(req.payload) == 0 || len(req.payload) > s.rwsize {
+			return fail(StatusBadRequest)
+		}
+		if err := backend.WriteFull(f, req.payload, int64(req.offset)); err != nil {
+			return fail(StatusIO)
+		}
+		s.stats.WriteOps.Add(1)
+		s.stats.BytesWritten.Add(int64(len(req.payload)))
+		return resp
+
+	case OpSync:
+		f, ok := handles[req.handle]
+		if !ok {
+			return fail(StatusBadRequest)
+		}
+		if err := f.Sync(); err != nil {
+			return fail(StatusIO)
+		}
+		return resp
+
+	case OpTruncate:
+		if s.readOnly {
+			return fail(StatusReadOnly)
+		}
+		f, ok := handles[req.handle]
+		if !ok {
+			return fail(StatusBadRequest)
+		}
+		if err := f.Truncate(int64(req.aux)); err != nil {
+			return fail(StatusIO)
+		}
+		return resp
+
+	case OpStat:
+		f, ok := handles[req.handle]
+		if !ok {
+			return fail(StatusBadRequest)
+		}
+		size, err := f.Size()
+		if err != nil {
+			return fail(StatusIO)
+		}
+		resp.aux = uint64(size)
+		return resp
+
+	case OpClose:
+		f, ok := handles[req.handle]
+		if !ok {
+			return fail(StatusBadRequest)
+		}
+		delete(handles, req.handle)
+		if err := f.Close(); err != nil {
+			return fail(StatusIO)
+		}
+		return resp
+
+	default:
+		return fail(StatusBadRequest)
+	}
+}
+
+// ListenAndLog is a convenience for command-line servers: listens and logs
+// the bound address via the standard logger.
+func (s *Server) ListenAndLog(addr string) (string, error) {
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	log.Printf("rblock: serving on %s (rwsize=%d)", bound, s.rwsize)
+	return bound, nil
+}

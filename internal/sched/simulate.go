@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// WorkloadParams drives a synthetic multi-tenant placement trace: VMs of
+// Zipf-popular images arrive, run, and depart, the way a public IaaS cloud's
+// scheduler sees them (§2.2, §3.4).
+type WorkloadParams struct {
+	Seed     int64
+	Arrivals int // total VM starts
+	VMIs     int // distinct images
+	// ZipfS > 1 skews popularity ("popular VMIs in public clouds").
+	ZipfS float64
+	// Lifetime is how many subsequent arrivals a VM stays alive for
+	// (mean, geometric).
+	MeanLifetime int
+	// VM sizing.
+	CPU int
+	Mem int64
+	// WarmBoot and ColdBoot are the boot costs in the two cases, taken
+	// from the cluster experiments (warm cache vs QCOW2/cold).
+	WarmBoot time.Duration
+	ColdBoot time.Duration
+	// CacheSize is the per-VMI warm cache size for pool accounting.
+	CacheSize int64
+}
+
+// SimResult summarises one scheduler simulation.
+type SimResult struct {
+	Placed       int
+	Rejected     int
+	WarmRatio    float64
+	MeanBoot     time.Duration
+	TotalBoot    time.Duration
+	NodesUsed    int
+	CacheEvicted int
+}
+
+// Simulate replays the synthetic trace against the scheduler, modelling
+// boot cost as WarmBoot on warm placements and ColdBoot otherwise (after a
+// cold boot, the node gains a warm cache for that VMI). Departures follow a
+// geometric lifetime in arrival counts, keeping the cluster at a steady
+// occupancy.
+func Simulate(s *Scheduler, p WorkloadParams) (*SimResult, error) {
+	if p.Arrivals <= 0 || p.VMIs <= 0 {
+		return nil, fmt.Errorf("sched: invalid workload %+v", p)
+	}
+	rnd := rand.New(rand.NewSource(p.Seed))
+	zipf := rand.NewZipf(rnd, p.ZipfS, 1, uint64(p.VMIs-1))
+
+	type liveVM struct {
+		id       string
+		deadline int // arrival index at which it departs
+	}
+	var live []liveVM
+	res := &SimResult{}
+	evictedTotal := 0
+
+	for i := 0; i < p.Arrivals; i++ {
+		// Departures due at this arrival.
+		kept := live[:0]
+		for _, vm := range live {
+			if vm.deadline <= i {
+				if err := s.Release(vm.id); err != nil {
+					return nil, err
+				}
+			} else {
+				kept = append(kept, vm)
+			}
+		}
+		live = kept
+
+		vmi := fmt.Sprintf("vmi-%d", zipf.Uint64())
+		spec := VMSpec{
+			ID:  fmt.Sprintf("vm-%d", i),
+			VMI: vmi,
+			CPU: p.CPU,
+			Mem: p.Mem,
+		}
+		dec, err := s.Schedule(spec)
+		if err != nil {
+			res.Rejected++
+			continue
+		}
+		res.Placed++
+		if dec.WarmCache {
+			res.TotalBoot += p.WarmBoot
+		} else {
+			res.TotalBoot += p.ColdBoot
+			// The boot warmed a cache on that node.
+			evicted := s.RecordWarmCache(dec.Node, vmi, p.CacheSize)
+			evictedTotal += len(evicted)
+		}
+		lifetime := 1
+		for rnd.Float64() > 1.0/float64(maxInt(p.MeanLifetime, 1)) {
+			lifetime++
+		}
+		live = append(live, liveVM{id: spec.ID, deadline: i + lifetime})
+	}
+
+	if res.Placed > 0 {
+		res.MeanBoot = res.TotalBoot / time.Duration(res.Placed)
+	}
+	res.WarmRatio = s.WarmRatio()
+	for _, n := range s.Nodes() {
+		if n.VMs() > 0 || n.CachePool().Len() > 0 {
+			res.NodesUsed++
+		}
+	}
+	res.CacheEvicted = evictedTotal
+	return res, nil
+}
