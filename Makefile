@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# The full verification gate: vet, build, the plain test suite, and the
+# race-detector pass (which includes the concurrency stress tests in
+# internal/qcow and internal/rblock).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 0.5s .

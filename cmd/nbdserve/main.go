@@ -78,5 +78,5 @@ func main() {
 		c.Close() //nolint:errcheck
 	}
 	fmt.Printf("nbdserve: served %d reads, %d writes, %d flushes\n",
-		srv.ReadOps, srv.WriteOps, srv.FlushOps)
+		srv.ReadOps.Load(), srv.WriteOps.Load(), srv.FlushOps.Load())
 }

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Protocol magics and constants (https://github.com/NetworkBlockDevice/nbd
@@ -80,10 +81,14 @@ type Server struct {
 	logf    func(format string, args ...any)
 
 	// Stats
-	ReadOps  int64
-	WriteOps int64
-	FlushOps int64
+	ReadOps  atomic.Int64
+	WriteOps atomic.Int64
+	FlushOps atomic.Int64
 }
+
+// maxConcurrentPerConn bounds how many in-flight requests one connection may
+// have dispatched at once.
+const maxConcurrentPerConn = 16
 
 // NewServer returns an empty server.
 func NewServer(logf func(format string, args ...any)) *Server {
@@ -293,9 +298,43 @@ func (s *Server) optReply(conn net.Conn, opt, typ uint32, payload []byte) error 
 	return nil
 }
 
-// transmission runs the I/O phase until disconnect.
+// transmission runs the I/O phase until disconnect. Requests are dispatched
+// concurrently (bounded per connection): request headers — and write
+// payloads, which share the stream — are read sequentially, but device I/O
+// and replies overlap, so a parallel guest (or a pipelined client) is not
+// serialised by a slow read. Replies identify their request by NBD handle;
+// the reply header and read payload are written atomically under a
+// per-connection write mutex.
 func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 	be := binary.BigEndian
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sem := make(chan struct{}, maxConcurrentPerConn)
+
+	// reply writes one response frame (with optional payload) atomically;
+	// on error it tears the connection down to unblock the request reader.
+	reply := func(handle uint64, nbdErr uint32, payload []byte) {
+		wmu.Lock()
+		err := s.simpleReply(conn, handle, nbdErr)
+		if err == nil && len(payload) > 0 {
+			_, err = conn.Write(payload)
+		}
+		wmu.Unlock()
+		if err != nil {
+			s.logf("nbd: reply write: %v", err)
+			conn.Close() //nolint:errcheck
+		}
+	}
+	dispatch := func(fn func()) {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			fn()
+		}()
+	}
+
 	var hdr [28]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -314,73 +353,61 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 
 		switch cmd {
 		case cmdRead:
-			buf := make([]byte, length)
-			var nbdErr uint32
-			if int64(offset)+int64(length) > exp.Device.Size() {
-				nbdErr = nbdEINVAL
-			} else if _, err := exp.Device.ReadAt(buf, int64(offset)); err != nil {
-				nbdErr = nbdEIO
-			}
-			s.mu.Lock()
-			s.ReadOps++
-			s.mu.Unlock()
-			if err := s.simpleReply(conn, handle, nbdErr); err != nil {
-				return err
-			}
-			if nbdErr == 0 {
-				if _, err := conn.Write(buf); err != nil {
-					return err
+			dispatch(func() {
+				buf := make([]byte, length)
+				var nbdErr uint32
+				if int64(offset)+int64(length) > exp.Device.Size() {
+					nbdErr = nbdEINVAL
+				} else if _, err := exp.Device.ReadAt(buf, int64(offset)); err != nil {
+					nbdErr = nbdEIO
 				}
-			}
+				s.ReadOps.Add(1)
+				if nbdErr != 0 {
+					buf = nil
+				}
+				reply(handle, nbdErr, buf)
+			})
 
 		case cmdWrite:
 			buf := make([]byte, length)
 			if _, err := io.ReadFull(conn, buf); err != nil {
 				return err
 			}
-			var nbdErr uint32
-			switch {
-			case exp.ReadOnly:
-				nbdErr = nbdEPERM
-			case int64(offset)+int64(length) > exp.Device.Size():
-				nbdErr = nbdEINVAL
-			default:
-				if _, err := exp.Device.WriteAt(buf, int64(offset)); err != nil {
-					nbdErr = nbdEIO
+			dispatch(func() {
+				var nbdErr uint32
+				switch {
+				case exp.ReadOnly:
+					nbdErr = nbdEPERM
+				case int64(offset)+int64(length) > exp.Device.Size():
+					nbdErr = nbdEINVAL
+				default:
+					if _, err := exp.Device.WriteAt(buf, int64(offset)); err != nil {
+						nbdErr = nbdEIO
+					}
 				}
-			}
-			s.mu.Lock()
-			s.WriteOps++
-			s.mu.Unlock()
-			if err := s.simpleReply(conn, handle, nbdErr); err != nil {
-				return err
-			}
+				s.WriteOps.Add(1)
+				reply(handle, nbdErr, nil)
+			})
 
 		case cmdFlush:
-			var nbdErr uint32
-			if err := exp.Device.Sync(); err != nil {
-				nbdErr = nbdEIO
-			}
-			s.mu.Lock()
-			s.FlushOps++
-			s.mu.Unlock()
-			if err := s.simpleReply(conn, handle, nbdErr); err != nil {
-				return err
-			}
+			dispatch(func() {
+				var nbdErr uint32
+				if err := exp.Device.Sync(); err != nil {
+					nbdErr = nbdEIO
+				}
+				s.FlushOps.Add(1)
+				reply(handle, nbdErr, nil)
+			})
 
 		case cmdDisc:
 			return nil
 
 		case cmdTrim:
 			// Discard is advisory; acknowledge without action.
-			if err := s.simpleReply(conn, handle, 0); err != nil {
-				return err
-			}
+			reply(handle, 0, nil)
 
 		default:
-			if err := s.simpleReply(conn, handle, nbdEINVAL); err != nil {
-				return err
-			}
+			reply(handle, nbdEINVAL, nil)
 		}
 	}
 }

@@ -59,8 +59,9 @@ func TestHandshakeAndIO(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("round trip mismatch")
 	}
-	if srv.ReadOps == 0 || srv.WriteOps == 0 || srv.FlushOps == 0 {
-		t.Fatalf("server stats: r=%d w=%d f=%d", srv.ReadOps, srv.WriteOps, srv.FlushOps)
+	if srv.ReadOps.Load() == 0 || srv.WriteOps.Load() == 0 || srv.FlushOps.Load() == 0 {
+		t.Fatalf("server stats: r=%d w=%d f=%d",
+			srv.ReadOps.Load(), srv.WriteOps.Load(), srv.FlushOps.Load())
 	}
 }
 

@@ -40,8 +40,8 @@ func (r *CheckResult) String() string {
 
 // Check walks all metadata and cross-validates it against the refcounts.
 func (img *Image) Check() (*CheckResult, error) {
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	if img.closed {
 		return nil, ErrClosed
 	}
@@ -151,8 +151,8 @@ type Extent struct {
 // Map returns the allocation extents of the image, coalescing contiguous
 // clusters with the same disposition.
 func (img *Image) Map() ([]Extent, error) {
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	if img.closed {
 		return nil, ErrClosed
 	}
@@ -210,8 +210,8 @@ func (img *Image) Info() (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	fsz, err := img.f.Size()
 	if err != nil {
 		return Info{}, err
@@ -225,8 +225,8 @@ func (img *Image) Info() (Info, error) {
 		CacheQuota:    img.quota,
 		CacheUsed:     img.usedBytes(),
 		DataClusters:  dc,
-		L2CacheHits:   img.l2c.hits,
-		L2CacheMisses: img.l2c.miss,
+		L2CacheHits:   img.stats.L2CacheHits.Load(),
+		L2CacheMisses: img.stats.L2CacheMisses.Load(),
 	}
 	if img.quota > 0 {
 		in.FillRatio = float64(in.CacheUsed) / float64(img.quota)
@@ -248,6 +248,7 @@ func (in Info) String() string {
 			in.CacheQuota, in.CacheUsed, 100*in.FillRatio)
 	}
 	fmt.Fprintf(&b, "data clusters: %d\n", in.DataClusters)
+	fmt.Fprintf(&b, "l2 cache:     hits=%d misses=%d\n", in.L2CacheHits, in.L2CacheMisses)
 	return b.String()
 }
 

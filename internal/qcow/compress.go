@@ -157,9 +157,10 @@ func (img *Image) allocBlobSpaceLocked(n int64) (int64, error) {
 	return off, nil
 }
 
-// readCompressedLocked inflates the blob at blobOff and returns one cluster
-// of guest data.
-func (img *Image) readCompressedLocked(blobOff int64) ([]byte, error) {
+// readCompressed inflates the blob at blobOff and returns one cluster of
+// guest data. Safe without the image lock: it reads only immutable blob
+// bytes from the container (blobs are never moved once bound).
+func (img *Image) readCompressed(blobOff int64) ([]byte, error) {
 	var hdr [4]byte
 	if err := backend.ReadFull(img.f, hdr[:], blobOff); err != nil {
 		return nil, err

@@ -1,0 +1,212 @@
+package qcow
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// trackingSource wraps a BlockSource and counts, per cache cluster, how many
+// backing reads touched it. The singleflight guarantee is that a cold cache
+// cluster is fetched from backing at most once no matter how many readers
+// miss on it concurrently.
+type trackingSource struct {
+	src         BlockSource
+	clusterSize int64
+	counts      []atomic.Int32
+}
+
+func (ts *trackingSource) ReadAt(p []byte, off int64) (int, error) {
+	first := off / ts.clusterSize
+	last := (off + int64(len(p)) - 1) / ts.clusterSize
+	for c := first; c <= last && c < int64(len(ts.counts)); c++ {
+		ts.counts[c].Add(1)
+	}
+	return ts.src.ReadAt(p, off)
+}
+
+func (ts *trackingSource) Size() int64 { return ts.src.Size() }
+
+// TestConcurrentReadStress hammers one warm and one cold cache image (shared
+// patterned base) from many goroutines with overlapping reads, checking every
+// read byte-for-byte against the flat reference and that the cold image
+// fetched each cluster from the backing source at most once.
+func TestConcurrentReadStress(t *testing.T) {
+	const (
+		size        = 2 * testMB
+		clusterBits = 9
+		cs          = 1 << clusterBits
+		workers     = 16
+		iters       = 80
+		maxRead     = 24 << 10
+	)
+	base, pat := newPatternedBase(t, size, 77)
+
+	track := &trackingSource{
+		src:         RawSource{R: base, N: size},
+		clusterSize: cs,
+		counts:      make([]atomic.Int32, size/cs),
+	}
+	cold := newCache(t, size, 4*size, clusterBits, track)
+
+	warm := newCache(t, size, 4*size, clusterBits, RawSource{R: base, N: size})
+	if err := backend.ReadFull(warm, make([]byte, size), 0); err != nil {
+		t.Fatalf("pre-warming: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			buf := make([]byte, maxRead)
+			for i := 0; i < iters; i++ {
+				// Overlapping offsets: all workers draw from the same
+				// narrow hot region half the time, so cold misses
+				// collide on the same clusters.
+				n := 1 + rnd.Intn(maxRead)
+				var off int64
+				if i%2 == 0 {
+					off = rnd.Int63n(size / 8)
+				} else {
+					off = rnd.Int63n(size - int64(n))
+				}
+				if off+int64(n) > size {
+					n = int(size - off)
+				}
+				for _, img := range []*Image{cold, warm} {
+					if err := backend.ReadFull(img, buf[:n], off); err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(buf[:n], pat[off:off+int64(n)]) {
+						t.Errorf("worker %d: data mismatch at off=%d n=%d", seed, off, n)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Singleflight: with an ample quota no cluster is ever fetched twice.
+	for c := range track.counts {
+		if got := track.counts[c].Load(); got > 1 {
+			t.Errorf("cluster %d fetched %d times from backing, want <= 1", c, got)
+		}
+	}
+	if got := cold.Stats().BackingBytes.Load(); got > size {
+		t.Errorf("cold backing traffic %d exceeds image size %d", got, size)
+	}
+
+	// Full sweep after the storm: both images must replay the base exactly.
+	for _, img := range []*Image{cold, warm} {
+		out := make([]byte, size)
+		if err := backend.ReadFull(img, out, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, pat) {
+			t.Fatal("post-stress image contents diverge from reference")
+		}
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentColdDistinctRuns checks that misses on distinct cluster runs
+// proceed in parallel without corrupting each other: disjoint stripes are
+// read concurrently, then the whole image is verified.
+func TestConcurrentColdDistinctRuns(t *testing.T) {
+	const (
+		size        = testMB
+		clusterBits = 9
+		workers     = 8
+	)
+	base, pat := newPatternedBase(t, size, 78)
+	cache := newCache(t, size, 4*size, clusterBits, RawSource{R: base, N: size})
+
+	stripe := int64(size / workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int64) {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for off := start; off < start+stripe; off += 4096 {
+				n := minI64(4096, start+stripe-off)
+				if err := backend.ReadFull(cache, buf[:n], off); err != nil {
+					t.Errorf("read at %d: %v", off, err)
+					return
+				}
+				if !bytes.Equal(buf[:n], pat[off:off+n]) {
+					t.Errorf("stripe mismatch at %d", off)
+					return
+				}
+			}
+		}(int64(w) * stripe)
+	}
+	wg.Wait()
+
+	if got, want := cache.Stats().BackingBytes.Load(), int64(size); got != want {
+		t.Errorf("backing traffic = %d, want exactly %d (each cluster fetched once)", got, want)
+	}
+	res, err := cache.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("post-stress check failed:\n%s", res)
+	}
+}
+
+// TestConcurrentReadsWithClose makes sure Close drains in-flight readers
+// instead of yanking the container out from under them.
+func TestConcurrentReadsWithClose(t *testing.T) {
+	const size = testMB
+	base, _ := newPatternedBase(t, size, 79)
+	cache := newCache(t, size, 4*size, 9, RawSource{R: base, N: size})
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			<-start
+			rnd := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 8192)
+			for i := 0; i < 50; i++ {
+				off := rnd.Int63n(size - 8192)
+				if _, err := cache.ReadAt(buf, off); err != nil {
+					if err == ErrClosed {
+						return
+					}
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	close(start)
+	if err := cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := cache.ReadAt(make([]byte, 512), 0); err != ErrClosed {
+		t.Fatalf("read after close: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,237 @@
+package qcow
+
+import (
+	"sync/atomic"
+
+	"vmicache/internal/backend"
+)
+
+// Copy-on-read fill singleflight. Concurrent cold misses on the same
+// clusters of a cache image must not each fetch the run from the backing
+// source: the first reader to claim a cluster run becomes its *leader*,
+// performs the one backing fetch and the allocation, and every other reader
+// that misses on a claimed cluster waits and is served straight from the
+// leader's fetched buffer. Misses on distinct cluster runs proceed fully in
+// parallel.
+//
+// The protocol keeps one invariant: a cache cluster transitions
+// unallocated→allocated only while its claim is held (guest writes cannot
+// allocate on cache images — they are immutable). So "claim, then observe
+// unallocated" proves the claimer is the only possible filler, which is what
+// makes the at-most-one-backing-fetch-per-cluster guarantee hold without
+// holding the image lock across network I/O.
+
+// fill is one in-flight copy-on-read fetch of a contiguous cluster run.
+type fill struct {
+	vc      int64 // first claimed cluster
+	claimed int64 // clusters claimed [vc, vc+claimed)
+	fetched int64 // clusters actually fetched into buf (set by the leader)
+	buf     []byte
+	err     error
+	done    chan struct{}
+	refs    atomic.Int32
+	pool    *bufPool
+}
+
+// release drops one reference; the last reference recycles the buffer.
+func (f *fill) release() {
+	if f.refs.Add(-1) == 0 && f.buf != nil {
+		f.pool.put(f.buf)
+		f.buf = nil
+	}
+}
+
+// claimRun either attaches to the in-flight fill covering vc (leader=false)
+// or claims the longest unclaimed prefix of [vc, vc+max) and returns a fresh
+// fill to lead (leader=true). Attached callers hold a buffer reference and
+// must release() after waiting. The registry holds one interval entry per
+// in-flight fill, so the scan is O(concurrent cold misses), not O(run).
+func (img *Image) claimRun(vc, max int64) (f *fill, leader bool) {
+	img.fillMu.Lock()
+	defer img.fillMu.Unlock()
+	n := max
+	for _, g := range img.fills {
+		if g.vc <= vc && vc < g.vc+g.claimed {
+			g.refs.Add(1)
+			return g, false
+		}
+		if g.vc > vc && g.vc-vc < n {
+			n = g.vc - vc // truncate at the next claimed interval
+		}
+	}
+	f = &fill{vc: vc, claimed: n, done: make(chan struct{}), pool: &img.sbuf}
+	f.refs.Store(1)
+	img.fills = append(img.fills, f)
+	return f, true
+}
+
+// unclaim removes f's interval from the registry.
+func (img *Image) unclaim(f *fill) {
+	img.fillMu.Lock()
+	for i, g := range img.fills {
+		if g == f {
+			last := len(img.fills) - 1
+			img.fills[i] = img.fills[last]
+			img.fills[last] = nil
+			img.fills = img.fills[:last]
+			break
+		}
+	}
+	img.fillMu.Unlock()
+}
+
+// quotaFit returns the largest prefix of a run of k unallocated clusters
+// starting at vc whose allocation (data + metadata it triggers) fits the
+// cache quota. Monotone in the prefix length, hence the binary search.
+// Caller holds img.mu (read or write).
+func (img *Image) quotaFit(vc, k int64) int64 {
+	fits := func(j int64) bool {
+		return img.usedBytes()+img.runAllocCost(vc, j)*img.ly.clusterSize <= img.quota
+	}
+	lo, hi := int64(0), k
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// leadFill runs the leader's side of one fill: re-validate the claimed run,
+// fetch it from the backing source in ONE read (no image lock held), then
+// take the write lock to allocate, store and bind as many clusters as the
+// quota admits. Truncation by the quota trips the §4.3 space error exactly
+// as the serial implementation did. On return f.done is closed and waiters
+// are served from f.buf.
+func (img *Image) leadFill(f *fill, backing BlockSource) {
+	defer func() {
+		img.unclaim(f)
+		close(f.done)
+	}()
+	cs := img.ly.clusterSize
+
+	// Re-validate under the read lock: the run was observed unallocated
+	// before claiming, so anything allocated since was bound by a fill
+	// that completed in between. Truncate at the first such cluster.
+	img.mu.RLock()
+	rl := runLookup{img: img}
+	want := int64(0)
+	for want < f.claimed {
+		m, err := rl.lookup(f.vc + want)
+		if err != nil {
+			img.mu.RUnlock()
+			f.err = err
+			return
+		}
+		if m.dataOff != 0 {
+			break
+		}
+		want++
+	}
+	fit := want
+	if fit > 0 {
+		fit = img.quotaFit(f.vc, want)
+	}
+	usedSnap := img.usedBytes()
+	img.mu.RUnlock()
+	if want == 0 {
+		return // run got filled before we claimed it; waiters retry
+	}
+	if fit == 0 {
+		// Space error before fetching anything: stop filling for the
+		// image's remaining lifetime; the miss is served by
+		// pass-through in the caller.
+		img.mu.Lock()
+		if !img.cacheFull {
+			img.cacheFull = true
+			img.stats.CacheFullEvents.Add(1)
+		}
+		img.mu.Unlock()
+		return
+	}
+
+	// One backing fetch for the whole admitted run, cluster-rounded,
+	// clamped to the virtual size (the final cluster may be partial).
+	fetchStart := f.vc * cs
+	fetchLen := fit * cs
+	if fetchStart+fetchLen > int64(img.hdr.Size) {
+		fetchLen = int64(img.hdr.Size) - fetchStart
+	}
+	buf := img.sbuf.get(int(fit * cs))
+	clear(buf[fetchLen:])
+	if err := img.readBacking(backing, buf[:fetchLen], fetchStart); err != nil {
+		img.sbuf.put(buf)
+		f.err = err
+		return
+	}
+
+	// Metadata phase under the write lock: the quota fit is recomputed
+	// because concurrent fills may have consumed space since the
+	// advisory check above (it can only shrink). Unchanged usage means
+	// the advisory fit is still exact.
+	img.mu.Lock()
+	final := fit
+	if img.usedBytes() != usedSnap {
+		final = img.quotaFit(f.vc, fit)
+	}
+	for i := int64(0); i < final; i++ {
+		m, err := img.ensureL2(f.vc + i)
+		if err == nil {
+			var dataOff int64
+			dataOff, err = img.allocCluster(false)
+			if err == nil {
+				err = backend.WriteFull(img.f, buf[i*cs:(i+1)*cs], dataOff)
+			}
+			if err == nil {
+				err = img.bindCluster(&m, dataOff)
+			}
+		}
+		if err != nil {
+			img.mu.Unlock()
+			img.sbuf.put(buf)
+			f.err = err
+			return
+		}
+	}
+	if final < want && !img.cacheFull {
+		img.cacheFull = true
+		img.stats.CacheFullEvents.Add(1)
+	}
+	img.stats.CacheFillOps.Add(final)
+	img.stats.CacheFillBytes.Add(minI64(fetchLen, final*cs))
+	img.mu.Unlock()
+
+	f.fetched = fit
+	f.buf = buf
+}
+
+// fillRun serves span (starting at guest offset pos, lying inside the
+// unallocated run [vc, vc+run)) through the fill singleflight. It returns
+// how many bytes of span were served; a short count means the caller must
+// re-translate and continue (the run was truncated or served by another
+// fill).
+func (img *Image) fillRun(vc, run, pos int64, span []byte, backing BlockSource) (int, error) {
+	cs := img.ly.clusterSize
+	f, leader := img.claimRun(vc, run)
+	// Both leader (the initial reference) and waiters (added in claimRun)
+	// hold exactly one buffer reference; the last release recycles f.buf.
+	defer f.release()
+	if leader {
+		img.leadFill(f, backing)
+	} else {
+		<-f.done
+	}
+	if f.err != nil {
+		return 0, f.err
+	}
+	covEnd := (f.vc + f.fetched) * cs
+	if f.fetched == 0 || pos >= covEnd {
+		return 0, nil // not covered; caller retries
+	}
+	served := minI64(pos+int64(len(span)), covEnd) - pos
+	copy(span[:served], f.buf[pos-f.vc*cs:])
+	return int(served), nil
+}

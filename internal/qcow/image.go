@@ -37,6 +37,11 @@ type Stats struct {
 	// guest writes (copy-on-write fills).
 	CowFillBytes atomic.Int64
 
+	// L2CacheHits/L2CacheMisses count L2-table translations served from
+	// the in-memory L2 cache vs decoded from the container.
+	L2CacheHits   atomic.Int64
+	L2CacheMisses atomic.Int64
+
 	// CompressedClusters/CompressedBytes count clusters written through
 	// WriteCompressedCluster and their deflate volume.
 	CompressedClusters atomic.Int64
@@ -70,15 +75,39 @@ type OpenOpts struct {
 }
 
 // Image is an open image file. Methods are safe for concurrent use by
-// multiple goroutines; a single mutex serialises metadata mutation.
+// multiple goroutines. mu guards the metadata layer (L1, refcount table,
+// allocator, cache-full flag): translations take it shared, mutations take it
+// exclusive, and data I/O against allocated clusters runs with no image lock
+// held at all (the container is responsible for its own I/O atomicity, and
+// bound clusters are never moved or freed). See DESIGN.md "Concurrency
+// model".
 type Image struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	f      backend.File
 	hdr    *Header
 	ly     layout
 	ro     bool
 	closed bool
+
+	// readers tracks in-flight lock-free data I/O so Close can drain it
+	// before closing the container. Entered under mu (shared) after the
+	// closed check; Close flips closed under mu (exclusive) first, so the
+	// counter cannot rise once draining starts.
+	readers sync.WaitGroup
+
+	// fillMu guards fills, the singleflight registry of in-flight
+	// copy-on-read fetches (fill.go). Each entry covers a contiguous
+	// cluster-run interval; the list stays as small as the number of
+	// concurrent cold misses, so linear scans beat per-cluster map entries.
+	// fillMu is a leaf lock: nothing is acquired while holding it.
+	fillMu sync.Mutex
+	fills  []*fill
+
+	// cbuf pools cluster-sized scratch buffers (CoW merges, metadata
+	// zeroing, L2 decodes); sbuf pools variable-length fill spans.
+	cbuf bufPool
+	sbuf bufPool
 
 	// l1 is the in-memory L1 table (write-through).
 	l1 []uint64
@@ -315,8 +344,8 @@ func (img *Image) IsCache() bool { return img.isCache }
 // CacheFull reports whether the cache has stopped filling (space error seen
 // or resumed at/near quota).
 func (img *Image) CacheFull() bool {
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	return img.cacheFull
 }
 
@@ -326,8 +355,8 @@ func (img *Image) Quota() int64 { return img.quota }
 // UsedBytes reports the current physical size of the image file — the
 // "current size of the cache" header field for cache images.
 func (img *Image) UsedBytes() int64 {
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	return img.usedBytes()
 }
 
@@ -344,8 +373,8 @@ func (img *Image) SetBacking(b BlockSource) {
 
 // Backing returns the installed backing source (nil if none).
 func (img *Image) Backing() BlockSource {
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	return img.backing
 }
 
@@ -384,15 +413,31 @@ func (img *Image) Sync() error {
 	return img.f.Sync()
 }
 
+// enterRead registers a lock-free data-path operation against Close. On
+// success the caller must balance with img.readers.Done().
+func (img *Image) enterRead() error {
+	img.mu.RLock()
+	if img.closed {
+		img.mu.RUnlock()
+		return ErrClosed
+	}
+	img.readers.Add(1)
+	img.mu.RUnlock()
+	return nil
+}
+
 // Close writes back the cache's current size (for cache images), syncs, and
-// closes the container.
+// closes the container. Concurrent reads that already entered the data path
+// are drained first; reads arriving after Close starts fail with ErrClosed.
 func (img *Image) Close() error {
 	img.mu.Lock()
-	defer img.mu.Unlock()
 	if img.closed {
+		img.mu.Unlock()
 		return ErrClosed
 	}
 	img.closed = true
+	img.mu.Unlock()
+	img.readers.Wait()
 	if !img.ro {
 		if err := img.syncCacheUsed(); err != nil {
 			img.f.Close() //nolint:errcheck // best-effort release on error path

@@ -532,7 +532,7 @@ func TestL2CacheEvictionPreservesCorrectness(t *testing.T) {
 			t.Fatalf("mismatch at %d under L2 eviction", wr.off)
 		}
 	}
-	if img.l2c.miss == 0 {
+	if img.stats.L2CacheMisses.Load() == 0 {
 		t.Fatal("expected L2 cache misses under eviction pressure")
 	}
 }

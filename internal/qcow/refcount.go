@@ -49,8 +49,10 @@ func (img *Image) setRefcount(c int64, v uint16) error {
 		// the table entry is in place.
 		newOff := img.nextFree * img.ly.clusterSize
 		img.nextFree++
-		zero := make([]byte, img.ly.clusterSize)
-		if err := backend.WriteFull(img.f, zero, newOff); err != nil {
+		zero := img.cbuf.getZero(int(img.ly.clusterSize))
+		err := backend.WriteFull(img.f, zero, newOff)
+		img.cbuf.put(zero)
+		if err != nil {
 			return err
 		}
 		img.refTable[rbIdx] = uint64(newOff)
@@ -141,8 +143,10 @@ func (img *Image) allocCluster(zeroed bool) (int64, error) {
 	img.nextFree++
 	off := c * img.ly.clusterSize
 	if zeroed {
-		zero := make([]byte, img.ly.clusterSize)
-		if err := backend.WriteFull(img.f, zero, off); err != nil {
+		zero := img.cbuf.getZero(int(img.ly.clusterSize))
+		err := backend.WriteFull(img.f, zero, off)
+		img.cbuf.put(zero)
+		if err != nil {
 			return 0, err
 		}
 	} else if err := img.ensureFileSize(off + img.ly.clusterSize); err != nil {

@@ -17,15 +17,20 @@ import (
 // clusters. A fill that would exceed the quota raises the internal space
 // error: the image stops filling for the rest of its lifetime and serves all
 // further misses by pass-through.
+//
+// ReadAt is the concurrent fast path: each iteration translates under the
+// shared metadata lock, then performs the data I/O (container read, backing
+// pass-through, or singleflight fill) with no image lock held, so parallel
+// readers overlap their I/O and cold misses on distinct cluster runs fetch
+// from the backing source in parallel.
 func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, ErrOutOfRange
 	}
-	img.mu.Lock()
-	defer img.mu.Unlock()
-	if img.closed {
-		return 0, ErrClosed
+	if err := img.enterRead(); err != nil {
+		return 0, err
 	}
+	defer img.readers.Done()
 	size := int64(img.hdr.Size)
 	if off >= size {
 		return 0, io.EOF
@@ -50,13 +55,20 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 		}
 		seg := p[done : done+want]
 
-		m, err := img.lookup(vc)
+		// Translate under the shared lock; capture everything the I/O
+		// phase needs, then release before touching data. The runLookup
+		// memoizer lives within this one critical section only.
+		img.mu.RLock()
+		rl := runLookup{img: img}
+		m, err := rl.lookup(vc)
 		if err != nil {
+			img.mu.RUnlock()
 			return done, err
 		}
 		switch {
 		case m.dataOff != 0 && m.compressed:
-			data, err := img.readCompressedLocked(m.dataOff)
+			img.mu.RUnlock()
+			data, err := img.readCompressed(m.dataOff)
 			if err != nil {
 				return done, err
 			}
@@ -69,8 +81,9 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 			// contiguous extent regardless of cluster size.
 			run := int64(1)
 			for (vc+run)*img.ly.clusterSize < off+int64(n) {
-				mm, err := img.lookup(vc + run)
+				mm, err := rl.lookup(vc + run)
 				if err != nil {
+					img.mu.RUnlock()
 					return done, err
 				}
 				if mm.compressed || mm.dataOff != m.dataOff+run*img.ly.clusterSize {
@@ -78,11 +91,14 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 				}
 				run++
 			}
+			img.mu.RUnlock()
 			want = n - done
 			if avail := run*img.ly.clusterSize - inOff; int64(want) > avail {
 				want = int(avail)
 			}
 			seg = p[done : done+want]
+			// Bound clusters are never moved or freed, so this read
+			// needs no lock: the container serialises its own I/O.
 			if err := backend.ReadFull(img.f, seg, m.dataOff+inOff); err != nil {
 				return done, err
 			}
@@ -96,24 +112,33 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 			// request-sized read the remote file system actually
 			// sees. A cache image then fills each cluster of the
 			// run from the fetched (cluster-rounded) buffer.
-			run, err := img.unallocatedRun(vc, off+int64(n))
+			backing := img.backing
+			fillable := img.isCache && !img.ro && !img.cacheFull
+			run, err := img.unallocatedRun(&rl, vc, off+int64(n))
 			if err != nil {
+				img.mu.RUnlock()
 				return done, err
 			}
+			img.mu.RUnlock()
 			spanEnd := minI64(off+int64(n), (vc+run)*img.ly.clusterSize)
 			span := p[done : int64(done)+spanEnd-pos]
-			if img.isCache && !img.ro && !img.cacheFull {
-				if err := img.fillRunLocked(vc, run, pos, span); err != nil {
+			if fillable {
+				served, err := img.fillRun(vc, run, pos, span, backing)
+				if err != nil {
 					return done, err
 				}
-			} else if err := img.readBackingLocked(span, pos); err != nil {
-				return done, err
+				// served == 0 means the run was filled (or truncated)
+				// by a concurrent fill: loop around and re-translate.
+				done += served
+			} else {
+				if err := img.readBacking(backing, span, pos); err != nil {
+					return done, err
+				}
+				done += len(span)
 			}
-			done += len(span)
 		default:
-			for i := range seg {
-				seg[i] = 0
-			}
+			img.mu.RUnlock()
+			clear(seg)
 			done += want
 		}
 	}
@@ -122,11 +147,11 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 
 // unallocatedRun counts consecutive unallocated clusters starting at vc that
 // intersect the request ending at reqEnd (byte offset). Always >= 1.
-func (img *Image) unallocatedRun(vc, reqEnd int64) (int64, error) {
+func (img *Image) unallocatedRun(rl *runLookup, vc, reqEnd int64) (int64, error) {
 	maxVC := ceilDiv(reqEnd, img.ly.clusterSize)
 	run := int64(1)
 	for vc+run < maxVC {
-		m, err := img.lookup(vc + run)
+		m, err := rl.lookup(vc + run)
 		if err != nil {
 			return run, err
 		}
@@ -145,101 +170,26 @@ func minI64(a, b int64) int64 {
 	return b
 }
 
-// readBackingLocked reads [pos, pos+len(seg)) from the backing source,
+// readBacking reads [pos, pos+len(seg)) from the given backing source,
 // counting the traffic. Reads past the backing's size (a smaller base) read
-// as zeros.
-func (img *Image) readBackingLocked(seg []byte, pos int64) error {
+// as zeros. Safe without the image lock: it touches only the backing source
+// and atomic counters.
+func (img *Image) readBacking(b BlockSource, seg []byte, pos int64) error {
 	img.stats.BackingReadOps.Add(1)
 	img.stats.BackingBytes.Add(int64(len(seg)))
-	bsz := img.backing.Size()
+	bsz := b.Size()
 	if pos >= bsz {
-		for i := range seg {
-			seg[i] = 0
-		}
+		clear(seg)
 		return nil
 	}
 	n := len(seg)
 	if pos+int64(n) > bsz {
 		n = int(bsz - pos)
 	}
-	if err := backend.ReadFull(img.backing, seg[:n], pos); err != nil {
+	if err := backend.ReadFull(b, seg[:n], pos); err != nil {
 		return err
 	}
-	for i := n; i < len(seg); i++ {
-		seg[i] = 0
-	}
-	return nil
-}
-
-// fillRunLocked performs one copy-on-read fill over a run of consecutive
-// unallocated clusters: fetch the cluster-rounded span in a single backing
-// read, store as many clusters as the quota admits (including all metadata
-// the allocations create), and satisfy the waiting span. If any part of the
-// run does not fit, the space error trips: the image stops filling for its
-// remaining lifetime, and the uncovered tail is served by pass-through.
-//
-// span starts at guest offset pos and ends within the run.
-func (img *Image) fillRunLocked(vc, run, pos int64, span []byte) error {
-	cs := img.ly.clusterSize
-	// Largest prefix of the run whose allocation fits the quota
-	// (monotone in the prefix length -> binary search).
-	fits := func(k int64) bool {
-		return img.usedBytes()+img.runAllocCost(vc, k)*cs <= img.quota
-	}
-	lo, hi := int64(0), run
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if fits(mid) {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	fit := lo
-	if fit < run {
-		img.cacheFull = true
-		img.stats.CacheFullEvents.Add(1)
-	}
-	if fit == 0 {
-		return img.readBackingLocked(span, pos)
-	}
-
-	fetchStart := vc * cs
-	fetchLen := fit * cs
-	if fetchStart+fetchLen > int64(img.hdr.Size) {
-		fetchLen = int64(img.hdr.Size) - fetchStart
-	}
-	buf := make([]byte, fit*cs)
-	if err := img.readBackingLocked(buf[:fetchLen], fetchStart); err != nil {
-		return err
-	}
-	for i := int64(0); i < fit; i++ {
-		m, err := img.ensureL2(vc + i)
-		if err != nil {
-			return err
-		}
-		dataOff, err := img.allocCluster(false)
-		if err != nil {
-			return err
-		}
-		if err := backend.WriteFull(img.f, buf[i*cs:(i+1)*cs], dataOff); err != nil {
-			return err
-		}
-		if err := img.bindCluster(&m, dataOff); err != nil {
-			return err
-		}
-	}
-	img.stats.CacheFillOps.Add(fit)
-	img.stats.CacheFillBytes.Add(minI64(fetchLen, fit*cs))
-
-	// Serve the span: the filled prefix from buf, any tail by
-	// pass-through.
-	filledEnd := fetchStart + fit*cs
-	served := minI64(pos+int64(len(span)), filledEnd) - pos
-	copy(span[:served], buf[pos-fetchStart:])
-	if served < int64(len(span)) {
-		return img.readBackingLocked(span[served:], pos+served)
-	}
+	clear(seg[n:])
 	return nil
 }
 
@@ -312,18 +262,19 @@ func (img *Image) WriteAt(p []byte, off int64) (int, error) {
 			// Copy-on-write out of a compressed cluster: inflate,
 			// merge, store raw, release the blob's clusters.
 			blobOff := m.dataOff
-			old, err := img.readCompressedLocked(blobOff)
+			old, err := img.readCompressed(blobOff)
 			if err != nil {
 				return done, err
 			}
-			buf := make([]byte, img.ly.clusterSize)
+			buf := img.cbuf.getZero(int(img.ly.clusterSize))
 			copy(buf, old)
 			copy(buf[inOff:], seg)
 			dataOff, err := img.allocCluster(false)
-			if err != nil {
-				return done, err
+			if err == nil {
+				err = backend.WriteFull(img.f, buf, dataOff)
 			}
-			if err := backend.WriteFull(img.f, buf, dataOff); err != nil {
+			img.cbuf.put(buf)
+			if err != nil {
 				return done, err
 			}
 			if err := img.bindCluster(&m, dataOff); err != nil {
@@ -346,20 +297,22 @@ func (img *Image) WriteAt(p []byte, off int64) (int, error) {
 		if clusterStart+clusterLen > size {
 			clusterLen = size - clusterStart
 		}
-		buf := make([]byte, img.ly.clusterSize)
+		buf := img.cbuf.getZero(int(img.ly.clusterSize))
 		fullCover := inOff == 0 && int64(want) >= clusterLen
 		if !fullCover && img.backing != nil {
-			if err := img.readBackingLocked(buf[:clusterLen], clusterStart); err != nil {
+			if err := img.readBacking(img.backing, buf[:clusterLen], clusterStart); err != nil {
+				img.cbuf.put(buf)
 				return done, err
 			}
 			img.stats.CowFillBytes.Add(clusterLen)
 		}
 		copy(buf[inOff:], seg)
 		dataOff, err := img.allocCluster(false)
-		if err != nil {
-			return done, err
+		if err == nil {
+			err = backend.WriteFull(img.f, buf, dataOff)
 		}
-		if err := backend.WriteFull(img.f, buf, dataOff); err != nil {
+		img.cbuf.put(buf)
+		if err != nil {
 			return done, err
 		}
 		if err := img.bindCluster(&m2, dataOff); err != nil {
@@ -373,8 +326,8 @@ func (img *Image) WriteAt(p []byte, off int64) (int, error) {
 // Allocated reports whether the cluster containing virtual offset off is
 // materialised in this image (not deferring to backing).
 func (img *Image) Allocated(off int64) (bool, error) {
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	if img.closed {
 		return false, ErrClosed
 	}
@@ -391,8 +344,8 @@ func (img *Image) Allocated(off int64) (bool, error) {
 // AllocatedDataClusters counts materialised data clusters (excluding
 // metadata); used by tests and `qimg info`.
 func (img *Image) AllocatedDataClusters() (int64, error) {
-	img.mu.Lock()
-	defer img.mu.Unlock()
+	img.mu.RLock()
+	defer img.mu.RUnlock()
 	if img.closed {
 		return 0, ErrClosed
 	}

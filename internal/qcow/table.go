@@ -2,6 +2,7 @@ package qcow
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"vmicache/internal/backend"
 )
@@ -25,14 +26,16 @@ func defaultL2CacheTables(ly layout) int {
 
 // l2Cache is a small LRU of decoded L2 tables keyed by their file offset.
 // Entries are write-through: updates are persisted immediately, so eviction
-// never loses data.
+// never loses data. The internal mutex protects only the map and LRU list —
+// the cached table slices themselves are guarded by the image lock (readers
+// under RLock, mutators under Lock), so concurrent translations may share a
+// slice safely. Hit/miss counters live in Stats (loadL2 counts them).
 type l2Cache struct {
+	mu   sync.Mutex
 	cap  int
 	m    map[int64]*l2Entry
 	head *l2Entry // most recent
 	tail *l2Entry // least recent
-	hits int64
-	miss int64
 }
 
 type l2Entry struct {
@@ -49,17 +52,19 @@ func newL2Cache(capTables int) *l2Cache {
 }
 
 func (c *l2Cache) get(off int64) ([]uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.m[off]
 	if !ok {
-		c.miss++
 		return nil, false
 	}
-	c.hits++
 	c.moveToFront(e)
 	return e.table, true
 }
 
 func (c *l2Cache) put(off int64, table []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e, ok := c.m[off]; ok {
 		e.table = table
 		c.moveToFront(e)
@@ -109,19 +114,26 @@ func (c *l2Cache) moveToFront(e *l2Entry) {
 	c.pushFront(e)
 }
 
-// loadL2 returns the decoded L2 table stored at file offset off.
+// loadL2 returns the decoded L2 table stored at file offset off. Concurrent
+// misses on the same table may decode it twice; the copies are identical
+// (L2 tables only change under the exclusive image lock) and the cache keeps
+// whichever was put last.
 func (img *Image) loadL2(off int64) ([]uint64, error) {
 	if t, ok := img.l2c.get(off); ok {
+		img.stats.L2CacheHits.Add(1)
 		return t, nil
 	}
-	buf := make([]byte, img.ly.clusterSize)
+	img.stats.L2CacheMisses.Add(1)
+	buf := img.cbuf.get(int(img.ly.clusterSize))
 	if err := backend.ReadFull(img.f, buf, off); err != nil {
+		img.cbuf.put(buf)
 		return nil, err
 	}
 	t := make([]uint64, img.ly.l2Entries)
 	for i := range t {
 		t[i] = binary.BigEndian.Uint64(buf[i*8:])
 	}
+	img.cbuf.put(buf)
 	img.l2c.put(off, t)
 	return t, nil
 }
@@ -151,23 +163,63 @@ type mapping struct {
 
 // lookup translates virtual cluster index vc without allocating.
 func (img *Image) lookup(vc int64) (mapping, error) {
+	m, _, err := img.lookupT(vc)
+	return m, err
+}
+
+// lookupT is lookup plus the decoded L2 table it consulted (nil when the
+// cluster has no L2 table yet).
+func (img *Image) lookupT(vc int64) (mapping, []uint64, error) {
 	var m mapping
 	m.l1Index = vc / img.ly.l2Entries
 	m.l2Index = vc % img.ly.l2Entries
 	if m.l1Index >= int64(len(img.l1)) {
-		return m, ErrOutOfRange
+		return m, nil, ErrOutOfRange
 	}
 	l1e := img.l1[m.l1Index]
 	m.l2Off = int64(l1e & entryOffsetMask)
 	if m.l2Off == 0 {
-		return m, nil
+		return m, nil, nil
 	}
 	t, err := img.loadL2(m.l2Off)
 	if err != nil {
-		return m, err
+		return m, nil, err
 	}
 	m.dataOff = int64(t[m.l2Index] & entryOffsetMask)
 	m.compressed = t[m.l2Index]&entryCompressed != 0
+	return m, t, nil
+}
+
+// runLookup translates consecutive virtual clusters while memoizing the
+// current L2 table, avoiding an l2Cache probe (mutex + LRU bump) per
+// cluster — with 512 B clusters a single guest read scans dozens of
+// clusters of the same table. Valid only inside ONE image-lock critical
+// section (read or write): the memoized table must not be reused after the
+// lock is released, and not across allocations that install L2 tables.
+type runLookup struct {
+	img   *Image
+	l1i   int64
+	l2Off int64
+	table []uint64
+	valid bool
+}
+
+func (r *runLookup) lookup(vc int64) (mapping, error) {
+	l1i := vc / r.img.ly.l2Entries
+	if r.valid && l1i == r.l1i {
+		m := mapping{l1Index: l1i, l2Index: vc % r.img.ly.l2Entries, l2Off: r.l2Off}
+		if r.table != nil {
+			e := r.table[m.l2Index]
+			m.dataOff = int64(e & entryOffsetMask)
+			m.compressed = e&entryCompressed != 0
+		}
+		return m, nil
+	}
+	m, t, err := r.img.lookupT(vc)
+	if err != nil {
+		return m, err
+	}
+	r.l1i, r.l2Off, r.table, r.valid = l1i, m.l2Off, t, true
 	return m, nil
 }
 

@@ -6,20 +6,41 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"vmicache/internal/backend"
 )
 
-// Client multiplexes remote files over one TCP connection. Requests are
-// synchronous (one outstanding at a time), like the sync NFS reads of the
-// paper's boot workload.
+// DefaultTimeout bounds how long a request may go unanswered before the
+// client declares the connection broken.
+const DefaultTimeout = 30 * time.Second
+
+// clientMaxInflightSegments caps how many segments of one large ReadAt /
+// WriteAt are pipelined concurrently.
+const clientMaxInflightSegments = 8
+
+// Client multiplexes remote files over one pipelined TCP connection:
+// multiple requests may be in flight at once, each tagged with a request id;
+// a background reader goroutine demultiplexes responses to their waiters.
+// Any read error, timeout, or protocol violation marks the client broken —
+// the stream's framing can no longer be trusted — and every pending and
+// subsequent call fails fast with ErrClientBroken.
 type Client struct {
-	mu     sync.Mutex
 	conn   net.Conn
-	br     *bufio.Reader
 	bw     *bufio.Writer
 	rwsize int
-	closed bool
+
+	// wmu serialises frame writes and flushes on the shared connection.
+	wmu sync.Mutex
+
+	// mu guards the demux state below.
+	mu      sync.Mutex
+	pending map[uint32]chan *frame
+	nextID  uint32
+	closed  bool
+	broken  error // first fatal error; non-nil once the stream is unusable
+
+	timeout time.Duration
 }
 
 // Dial connects to a server. rwsize caps per-request transfers (0 uses the
@@ -32,44 +53,141 @@ func Dial(addr string, rwsize int) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn:   conn,
-		br:     bufio.NewReaderSize(conn, 128<<10),
-		bw:     bufio.NewWriterSize(conn, 128<<10),
-		rwsize: rwsize,
-	}, nil
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 128<<10),
+		rwsize:  rwsize,
+		pending: make(map[uint32]chan *frame),
+		timeout: DefaultTimeout,
+	}
+	go c.readLoop(bufio.NewReaderSize(conn, 128<<10))
+	return c, nil
 }
 
-// Close terminates the connection; open RemoteFiles become unusable.
+// SetTimeout adjusts the per-request deadline (0 disables deadlines).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Close terminates the connection; open RemoteFiles become unusable and
+// pending requests fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
 }
 
-// roundTrip sends a request and reads its response.
-func (c *Client) roundTrip(req *frame) (*frame, error) {
+// fail marks the client broken with cause err, tears down the connection,
+// and releases every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	waiters := c.pending
+	c.pending = make(map[uint32]chan *frame)
+	c.mu.Unlock()
+	c.conn.Close() //nolint:errcheck // already failing; nothing to report
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// readLoop demultiplexes responses to their waiting requests until the
+// connection dies. The read deadline is armed whenever requests are pending
+// (see roundTrip) and cleared when the pipeline drains, so an idle
+// connection never times out.
+func (c *Client) readLoop(br *bufio.Reader) {
+	for {
+		resp, err := readFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.id]
+		if ok {
+			delete(c.pending, resp.id)
+		}
+		if len(c.pending) == 0 {
+			c.conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+		} else if c.timeout > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+		}
+		c.mu.Unlock()
+		if !ok {
+			// A response nobody asked for: the stream is desynchronised.
+			c.fail(fmt.Errorf("%w: unsolicited response id %d", ErrBadFrame, resp.id))
+			return
+		}
+		ch <- resp
+	}
+}
+
+// brokenErr reports the fail-fast error for a broken client.
+func (c *Client) brokenErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		return ErrClosed
+	}
+	return fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+}
+
+// roundTrip sends a request and waits for its response. Concurrent callers
+// pipeline: their requests share the connection and complete independently.
+func (c *Client) roundTrip(req *frame) (*frame, error) {
+	ch := make(chan *frame, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if err := writeFrame(c.bw, req); err != nil {
-		return nil, err
+	if c.broken != nil {
+		c.mu.Unlock()
+		return nil, c.brokenErr()
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
+	c.nextID++
+	req.id = c.nextID
+	c.pending[req.id] = ch
+	if c.timeout > 0 {
+		// Arm (or extend) the read deadline: progress is expected while
+		// anything is in flight.
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
 	}
-	resp, err := readFrame(c.br)
+	timeout := c.timeout
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	if timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	}
+	err := writeFrame(c.bw, req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
 	if err != nil {
-		return nil, err
+		c.fail(err)
+		return nil, c.brokenErr()
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		return nil, c.brokenErr()
 	}
 	if resp.op != req.op|replyFlag {
-		return nil, fmt.Errorf("%w: mismatched reply op %#x", ErrBadFrame, resp.op)
+		c.fail(fmt.Errorf("%w: mismatched reply op %#x", ErrBadFrame, resp.op))
+		return nil, c.brokenErr()
 	}
 	if err := statusErr(resp.status); err != nil {
 		return nil, err
@@ -100,66 +218,144 @@ func (c *Client) Open(name string, readOnly bool) (*RemoteFile, error) {
 	return &RemoteFile{c: c, handle: resp.handle, size: int64(resp.aux), ro: readOnly}, nil
 }
 
-// ReadAt reads remotely, segmenting to the negotiated rwsize. Reads past the
-// remote end yield io.EOF with a short count, matching io.ReaderAt.
+// segment is one rwsize-bounded slice of a larger request.
+type segment struct {
+	start int // offset into p
+	n     int
+}
+
+// segments splits a length into rwsize-bounded pieces.
+func (f *RemoteFile) segments(total int) []segment {
+	segs := make([]segment, 0, (total+f.c.rwsize-1)/f.c.rwsize)
+	for start := 0; start < total; start += f.c.rwsize {
+		n := total - start
+		if n > f.c.rwsize {
+			n = f.c.rwsize
+		}
+		segs = append(segs, segment{start: start, n: n})
+	}
+	return segs
+}
+
+// ReadAt reads remotely, segmenting to the negotiated rwsize. Multi-segment
+// reads are pipelined: all segments go out on the wire before the first
+// response is awaited, so one large read costs roughly one round trip plus
+// transfer instead of one round trip per segment. Reads past the remote end
+// yield io.EOF with a short count, matching io.ReaderAt.
 func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, ErrBadRequest
 	}
-	done := 0
-	for done < len(p) {
-		want := len(p) - done
-		if want > f.c.rwsize {
-			want = f.c.rwsize
-		}
+	readSeg := func(s segment) (int, error) {
 		resp, err := f.c.roundTrip(&frame{
 			op:     OpRead,
 			handle: f.handle,
-			offset: uint64(off + int64(done)),
-			aux:    uint64(want),
+			offset: uint64(off + int64(s.start)),
+			aux:    uint64(s.n),
 		})
 		if err != nil {
-			return done, err
+			return 0, err
 		}
-		n := copy(p[done:], resp.payload)
-		done += n
-		if n < want {
-			return done, io.EOF
+		return copy(p[s.start:s.start+s.n], resp.payload), nil
+	}
+	segs := f.segments(len(p))
+	if len(segs) <= 1 {
+		done := 0
+		for _, s := range segs {
+			n, err := readSeg(s)
+			done += n
+			if err != nil {
+				return done, err
+			}
+			if n < s.n {
+				return done, io.EOF
+			}
+		}
+		return done, nil
+	}
+	ns, err := f.inParallel(segs, readSeg)
+	done := 0
+	for i, s := range segs {
+		done += ns[i]
+		if ns[i] < s.n {
+			if err == nil {
+				err = io.EOF
+			}
+			break
 		}
 	}
-	return done, nil
+	return done, err
 }
 
-// WriteAt writes remotely in rwsize segments.
+// WriteAt writes remotely in rwsize segments, pipelined like ReadAt.
 func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	if f.ro {
 		return 0, ErrReadOnly
 	}
-	done := 0
-	for done < len(p) {
-		want := len(p) - done
-		if want > f.c.rwsize {
-			want = f.c.rwsize
-		}
+	writeSeg := func(s segment) (int, error) {
 		_, err := f.c.roundTrip(&frame{
 			op:      OpWrite,
 			handle:  f.handle,
-			offset:  uint64(off + int64(done)),
-			payload: p[done : done+want],
+			offset:  uint64(off + int64(s.start)),
+			payload: p[s.start : s.start+s.n],
 		})
 		if err != nil {
-			return done, err
+			return 0, err
 		}
-		done += want
+		return s.n, nil
 	}
+	segs := f.segments(len(p))
+	var done int
+	var err error
+	if len(segs) <= 1 {
+		for _, s := range segs {
+			var n int
+			n, err = writeSeg(s)
+			done += n
+		}
+	} else {
+		var ns []int
+		ns, err = f.inParallel(segs, writeSeg)
+		for i, s := range segs {
+			done += ns[i]
+			if ns[i] < s.n {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return done, err
+	}
+	f.mu.Lock()
 	if end := off + int64(len(p)); end > f.size {
-		f.mu.Lock()
-		if end > f.size {
-			f.size = end
-		}
-		f.mu.Unlock()
+		f.size = end
 	}
+	f.mu.Unlock()
 	return done, nil
+}
+
+// inParallel runs op over every segment with bounded concurrency and returns
+// per-segment completed byte counts plus the first error in segment order.
+func (f *RemoteFile) inParallel(segs []segment, op func(segment) (int, error)) ([]int, error) {
+	ns := make([]int, len(segs))
+	errs := make([]error, len(segs))
+	sem := make(chan struct{}, clientMaxInflightSegments)
+	var wg sync.WaitGroup
+	for i, s := range segs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, s segment) {
+			defer func() { <-sem; wg.Done() }()
+			ns[i], errs[i] = op(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ns, err
+		}
+	}
+	return ns, nil
 }
 
 // Size queries the remote size.

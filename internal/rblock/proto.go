@@ -65,6 +65,12 @@ var (
 	ErrBadRequest = errors.New("rblock: bad request")
 	ErrReadOnly   = errors.New("rblock: file is read-only")
 	ErrClosed     = errors.New("rblock: connection closed")
+
+	// ErrClientBroken marks a client whose connection desynchronised (a
+	// mid-response read error, a timeout, or a protocol violation). Every
+	// call after the break fails fast with this error instead of reading
+	// from a stream whose framing can no longer be trusted.
+	ErrClientBroken = errors.New("rblock: client broken")
 )
 
 func statusErr(s uint32) error {
@@ -88,17 +94,19 @@ func statusErr(s uint32) error {
 //	op     u8
 //	flags  u8  (bit0: read-only open)
 //	status u16 (responses; low 16 bits of status code)
+//	id     u32 (request id; responses echo it, enabling pipelining)
 //	handle u32
 //	offset u64
 //	length u32 (payload length)
 //	aux    u64 (sizes: open/stat result, truncate target)
 //	payload [length]bytes
-const frameHeaderLen = 4 + 1 + 1 + 2 + 4 + 8 + 4 + 8
+const frameHeaderLen = 4 + 1 + 1 + 2 + 4 + 4 + 8 + 4 + 8
 
 type frame struct {
 	op      Op
 	flags   uint8
 	status  uint32
+	id      uint32
 	handle  uint32
 	offset  uint64
 	aux     uint64
@@ -116,10 +124,11 @@ func writeFrame(w io.Writer, f *frame) error {
 	hdr[4] = byte(f.op)
 	hdr[5] = f.flags
 	be.PutUint16(hdr[6:], uint16(f.status))
-	be.PutUint32(hdr[8:], f.handle)
-	be.PutUint64(hdr[12:], f.offset)
-	be.PutUint32(hdr[20:], uint32(len(f.payload)))
-	be.PutUint64(hdr[24:], f.aux)
+	be.PutUint32(hdr[8:], f.id)
+	be.PutUint32(hdr[12:], f.handle)
+	be.PutUint64(hdr[16:], f.offset)
+	be.PutUint32(hdr[24:], uint32(len(f.payload)))
+	be.PutUint64(hdr[28:], f.aux)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -145,11 +154,12 @@ func readFrame(r io.Reader) (*frame, error) {
 		op:     Op(hdr[4]),
 		flags:  hdr[5],
 		status: uint32(be.Uint16(hdr[6:])),
-		handle: be.Uint32(hdr[8:]),
-		offset: be.Uint64(hdr[12:]),
-		aux:    be.Uint64(hdr[24:]),
+		id:     be.Uint32(hdr[8:]),
+		handle: be.Uint32(hdr[12:]),
+		offset: be.Uint64(hdr[16:]),
+		aux:    be.Uint64(hdr[28:]),
 	}
-	n := be.Uint32(hdr[20:])
+	n := be.Uint32(hdr[24:])
 	if n > maxPayload {
 		return nil, ErrBadFrame
 	}

@@ -121,8 +121,29 @@ func (s *Server) Close() error {
 	return err
 }
 
-// serveConn handles one client connection; per-connection handles map to
-// open files.
+// maxConcurrentPerConn bounds how many requests of one connection are
+// dispatched simultaneously.
+const maxConcurrentPerConn = 16
+
+// connState is the per-connection handle table, shared by the concurrent
+// request handlers.
+type connState struct {
+	mu         sync.Mutex
+	handles    map[uint32]backend.File
+	nextHandle uint32
+}
+
+func (cs *connState) get(h uint32) (backend.File, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	f, ok := cs.handles[h]
+	return f, ok
+}
+
+// serveConn handles one client connection. Requests are dispatched
+// concurrently (bounded) so pipelined clients overlap server-side I/O;
+// responses carry the request id, so completion order need not match arrival
+// order. Frame writes are serialised by a per-connection mutex.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close() //nolint:errcheck
@@ -132,13 +153,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 128<<10)
 	bw := bufio.NewWriterSize(conn, 128<<10)
-	handles := map[uint32]backend.File{}
+	cs := &connState{handles: map[uint32]backend.File{}}
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
 	defer func() {
-		for _, f := range handles {
+		wg.Wait()
+		for _, f := range cs.handles {
 			f.Close() //nolint:errcheck
 		}
 	}()
-	var nextHandle uint32
+	sem := make(chan struct{}, maxConcurrentPerConn)
 
 	for {
 		req, err := readFrame(br)
@@ -148,19 +172,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.handle(req, handles, &nextHandle)
-		if err := writeFrame(bw, resp); err != nil {
-			s.logf("rblock: conn write: %v", err)
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			s.logf("rblock: conn flush: %v", err)
-			return
-		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(req *frame) {
+			defer func() { <-sem; wg.Done() }()
+			resp := s.handle(req, cs)
+			resp.id = req.id
+			wmu.Lock()
+			err := writeFrame(bw, resp)
+			if err == nil {
+				err = bw.Flush()
+			}
+			wmu.Unlock()
+			if err != nil {
+				s.logf("rblock: conn write: %v", err)
+				conn.Close() //nolint:errcheck // unblocks the read loop
+			}
+		}(req)
 	}
 }
 
-func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle *uint32) *frame {
+func (s *Server) handle(req *frame, cs *connState) *frame {
 	resp := &frame{op: req.op | replyFlag}
 	fail := func(status uint32) *frame {
 		resp.status = status
@@ -181,15 +213,18 @@ func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle 
 			f.Close() //nolint:errcheck
 			return fail(StatusIO)
 		}
-		*nextHandle++
-		handles[*nextHandle] = f
-		resp.handle = *nextHandle
+		cs.mu.Lock()
+		cs.nextHandle++
+		h := cs.nextHandle
+		cs.handles[h] = f
+		cs.mu.Unlock()
+		resp.handle = h
 		resp.aux = uint64(size)
 		s.stats.Opens.Add(1)
 		return resp
 
 	case OpRead:
-		f, ok := handles[req.handle]
+		f, ok := cs.get(req.handle)
 		if !ok || req.aux == 0 || req.aux > uint64(s.rwsize) {
 			return fail(StatusBadRequest)
 		}
@@ -207,7 +242,7 @@ func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle 
 		if s.readOnly {
 			return fail(StatusReadOnly)
 		}
-		f, ok := handles[req.handle]
+		f, ok := cs.get(req.handle)
 		if !ok || len(req.payload) == 0 || len(req.payload) > s.rwsize {
 			return fail(StatusBadRequest)
 		}
@@ -219,7 +254,7 @@ func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle 
 		return resp
 
 	case OpSync:
-		f, ok := handles[req.handle]
+		f, ok := cs.get(req.handle)
 		if !ok {
 			return fail(StatusBadRequest)
 		}
@@ -232,7 +267,7 @@ func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle 
 		if s.readOnly {
 			return fail(StatusReadOnly)
 		}
-		f, ok := handles[req.handle]
+		f, ok := cs.get(req.handle)
 		if !ok {
 			return fail(StatusBadRequest)
 		}
@@ -242,7 +277,7 @@ func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle 
 		return resp
 
 	case OpStat:
-		f, ok := handles[req.handle]
+		f, ok := cs.get(req.handle)
 		if !ok {
 			return fail(StatusBadRequest)
 		}
@@ -254,11 +289,15 @@ func (s *Server) handle(req *frame, handles map[uint32]backend.File, nextHandle 
 		return resp
 
 	case OpClose:
-		f, ok := handles[req.handle]
+		cs.mu.Lock()
+		f, ok := cs.handles[req.handle]
+		if ok {
+			delete(cs.handles, req.handle)
+		}
+		cs.mu.Unlock()
 		if !ok {
 			return fail(StatusBadRequest)
 		}
-		delete(handles, req.handle)
 		if err := f.Close(); err != nil {
 			return fail(StatusIO)
 		}
