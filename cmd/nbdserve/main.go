@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"vmicache/internal/backend"
 	"vmicache/internal/core"
@@ -33,6 +35,7 @@ func main() {
 	addr := fs.String("addr", "127.0.0.1:10810", "listen address")
 	dir := fs.String("C", ".", "working directory holding the images")
 	ro := fs.Bool("ro", false, "export read-only")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "nbdserve: need at least one image name")
@@ -71,11 +74,14 @@ func main() {
 	fmt.Printf("nbdserve: listening on %s\n", bound)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	srv.Close() //nolint:errcheck // terminating anyway
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("nbdserve: %v: draining (up to %v)\n", s, *drain)
+	if err := srv.Shutdown(*drain); err != nil {
+		fmt.Fprintf(os.Stderr, "nbdserve: shutdown: %v\n", err)
+	}
 	for _, c := range chains {
-		c.Close() //nolint:errcheck
+		c.Close() //nolint:errcheck // terminating anyway
 	}
 	fmt.Printf("nbdserve: served %d reads, %d writes, %d flushes\n",
 		srv.ReadOps.Load(), srv.WriteOps.Load(), srv.FlushOps.Load())

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	rblockd [-addr HOST:PORT] [-dir DIR] [-rwsize N] [-ro]
+//	rblockd [-addr HOST:PORT] [-dir DIR] [-rwsize N] [-ro] [-drain DUR]
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting new
+// connections, drains in-flight requests up to -drain, prints its traffic
+// counters (including the per-image breakdown), and exits.
 package main
 
 import (
@@ -12,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"vmicache/internal/backend"
 	"vmicache/internal/rblock"
@@ -23,6 +29,7 @@ func main() {
 	dir := fs.String("dir", ".", "directory to export")
 	rwsize := fs.Int("rwsize", rblock.DefaultRWSize, "maximum transfer segment (the paper tunes NFS to 64 KiB)")
 	ro := fs.Bool("ro", false, "export read-only")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 
 	store, err := backend.NewDirStore(*dir)
@@ -45,12 +52,11 @@ func main() {
 	fmt.Printf("rblockd: exporting %s on %s (rwsize=%d, ro=%v)\n", *dir, bound, *rwsize, *ro)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	stats := srv.Stats()
-	fmt.Printf("rblockd: shutting down; served %.1f MB over %d reads, received %.1f MB over %d writes, %d opens, %d conns\n",
-		float64(stats.BytesRead.Load())/1e6, stats.ReadOps.Load(),
-		float64(stats.BytesWritten.Load())/1e6, stats.WriteOps.Load(),
-		stats.Opens.Load(), stats.Conns.Load())
-	srv.Close() //nolint:errcheck // terminating anyway
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("rblockd: %v: draining (up to %v)\n", s, *drain)
+	if err := srv.Shutdown(*drain); err != nil {
+		fmt.Fprintf(os.Stderr, "rblockd: shutdown: %v\n", err)
+	}
+	fmt.Printf("rblockd: %s\n", srv.Stats())
 }

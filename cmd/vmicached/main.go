@@ -1,0 +1,186 @@
+// Command vmicached runs the node-local VM image cache manager daemon: it
+// owns a cache directory, warms caches for the listed base images (pulling
+// them wholesale from peer nodes when possible, falling back to copy-on-read
+// from the storage node), exports its published caches to peers over rblock,
+// and evicts least-recently-used caches under the configured disk budget.
+//
+// Usage:
+//
+//	vmicached -dir DIR -storage HOST:PORT [flags]
+//
+// Flags:
+//
+//	-dir DIR         cache directory (required)
+//	-storage ADDR    rblock address of the storage node (required)
+//	-export ADDR     address to export published caches on (default :10811)
+//	-peers A,B,...   peer vmicached export addresses, tried before storage
+//	-budget SIZE     node cache disk budget, e.g. 10G (0 = unbounded)
+//	-quota SIZE      per-cache fill quota (0 = whole base + metadata)
+//	-cluster-bits N  cache cluster size exponent (0 = default)
+//	-warm A,B,...    base image names to warm at startup
+//	-status DUR      periodic status print interval (0 = only on shutdown)
+//	-drain DUR       graceful-shutdown drain deadline
+//
+// A two-node warm handoff: start node A against the storage node and let it
+// warm, then start node B with -peers pointing at A — B pulls the published
+// cache from A without touching the storage node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"vmicache/internal/cachemgr"
+	"vmicache/internal/rblock"
+)
+
+func main() {
+	fs := flag.NewFlagSet("vmicached", flag.ExitOnError)
+	dir := fs.String("dir", "", "cache directory (required)")
+	storage := fs.String("storage", "", "rblock address of the storage node (required)")
+	export := fs.String("export", "127.0.0.1:10811", "address to export published caches on (empty disables)")
+	peers := fs.String("peers", "", "comma-separated peer export addresses")
+	budget := fs.String("budget", "0", "node cache disk budget (bytes; K/M/G suffixes)")
+	quota := fs.String("quota", "0", "per-cache fill quota (bytes; K/M/G suffixes)")
+	clusterBits := fs.Int("cluster-bits", 0, "cache cluster size exponent (0 = default)")
+	warm := fs.String("warm", "", "comma-separated base image names to warm at startup")
+	status := fs.Duration("status", 0, "periodic status interval (0 = only on shutdown)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vmicached: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *dir == "" || *storage == "" {
+		fail("-dir and -storage are required")
+	}
+	budgetBytes, err := parseSize(*budget)
+	if err != nil {
+		fail("-budget: %v", err)
+	}
+	quotaBytes, err := parseSize(*quota)
+	if err != nil {
+		fail("-quota: %v", err)
+	}
+
+	client, err := rblock.Dial(*storage, 0)
+	if err != nil {
+		fail("dialing storage node %s: %v", *storage, err)
+	}
+	mgr, err := cachemgr.New(cachemgr.Config{
+		Dir:         *dir,
+		Budget:      budgetBytes,
+		Quota:       quotaBytes,
+		ClusterBits: *clusterBits,
+		Backing:     rblock.RemoteStore{C: client},
+		Peers:       splitList(*peers),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	if *export != "" {
+		bound, err := mgr.ServePeers(*export)
+		if err != nil {
+			fail("exporting caches: %v", err)
+		}
+		fmt.Printf("vmicached: exporting published caches on %s\n", bound)
+	}
+
+	// Warm the requested bases concurrently; each warm singleflights
+	// internally, and peer pulls race only against their own fallback.
+	var wg sync.WaitGroup
+	for _, base := range splitList(*warm) {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			lease, err := mgr.Acquire(base)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vmicached: warming %s: %v\n", base, err)
+				return
+			}
+			fmt.Printf("vmicached: %s ready as %s\n", base, lease.Key())
+			lease.Release()
+		}(base)
+	}
+	wg.Wait()
+
+	printStatus := func() {
+		fmt.Printf("vmicached: status\n%s\n", indent(mgr.Stats().String()))
+		// Fold the peer exporter's traffic (including per-image hit
+		// counts) into the status output.
+		if st, ok := mgr.ExportStats(); ok {
+			fmt.Printf("  export: %s\n", strings.ReplaceAll(st.String(), "\n", "\n  "))
+		}
+	}
+
+	var tick <-chan time.Time
+	if *status > 0 {
+		t := time.NewTicker(*status)
+		defer t.Stop()
+		tick = t.C
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-tick:
+			printStatus()
+		case s := <-sig:
+			fmt.Printf("vmicached: %v: draining (up to %v)\n", s, *drain)
+			if err := mgr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "vmicached: shutdown: %v\n", err)
+			}
+			client.Close() //nolint:errcheck // terminating anyway
+			printStatus()
+			return
+		}
+	}
+}
+
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseSize parses "1073741824", "1G", "512M", "64K".
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+// indent prefixes every line with two spaces.
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

@@ -92,13 +92,13 @@ func main() {
 			log.Fatal(err)
 		}
 		defer dev.Close() //nolint:errcheck
-		before := storageSrv.Stats().BytesRead.Load()
+		before := storageSrv.Stats().BytesRead
 		w := vmicache.GenerateBoot(prof)
 		res, err := vmicache.ReplayBoot(w, dev, vmicache.ReplayOpts{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		wire := storageSrv.Stats().BytesRead.Load() - before
+		wire := storageSrv.Stats().BytesRead - before
 		fmt.Printf("%s: read %.1f MB, wrote %.1f MB through NBD in %v; %.1f MB crossed the storage wire\n",
 			tag, float64(res.ReadBytes)/1e6, float64(res.WriteBytes)/1e6,
 			res.Elapsed.Round(1e6), float64(wire)/1e6)

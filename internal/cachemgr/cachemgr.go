@@ -1,0 +1,490 @@
+// Package cachemgr implements the node-local VM image cache manager — the
+// subsystem §3.4 of the paper leaves as future work ("allocation of VMs to
+// nodes with an existing warm cache" and "eviction of VMI caches whenever the
+// allocated cache space is full"). The simulators (internal/sched,
+// internal/cloudsim) model these policies; this package executes them on a
+// real node:
+//
+//   - One cache directory holds published, immutable warm caches, keyed by
+//     base-image identity and the (cluster-size, quota) creation parameters.
+//   - Concurrent boot sessions for the same base share one cache: the first
+//     session warms it through the copy-on-read path, later sessions block on
+//     the in-flight warm and then attach read-only (singleflight admission).
+//   - Publication is crash-safe: a cache warms into a ".tmp" file, is
+//     verified with qcow.Check, synced, and renamed into its published name.
+//     A temp file found at startup is a crashed warm and is discarded — it is
+//     never served.
+//   - Published caches are evicted least-recently-used under the node's disk
+//     budget (core.Pool), with leased caches pinned against eviction and the
+//     evicted files actually deleted.
+//   - On a cold miss the manager first tries to pull the warm cache wholesale
+//     from a configured peer node over rblock, falling back to copy-on-read
+//     warming from the storage node — taking the storage node off the
+//     critical path, as the federated-distribution literature argues.
+package cachemgr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/core"
+	"vmicache/internal/qcow"
+	"vmicache/internal/rblock"
+)
+
+const (
+	// storeName is the namespace name of the manager's cache directory.
+	storeName = "nodecache"
+	// scratchName is the namespace name of the per-session CoW scratch.
+	scratchName = "scratch"
+
+	// pubSuffix marks published (immutable, verified) cache files.
+	pubSuffix = ".vmic"
+	// tmpSuffix marks in-progress warms; appended to the published name.
+	tmpSuffix = ".tmp"
+
+	// DefaultPeerTimeout bounds each peer-transfer request.
+	DefaultPeerTimeout = 10 * time.Second
+
+	// shutdownDrain is how long Close lets the peer exporter drain.
+	shutdownDrain = 5 * time.Second
+)
+
+// ErrClosed is returned by operations on a closed manager.
+var ErrClosed = errors.New("cachemgr: manager closed")
+
+// Config parameterises a Manager.
+type Config struct {
+	// Dir is the node's cache directory (created if absent). One Manager
+	// owns a directory at a time.
+	Dir string
+
+	// Budget bounds the total bytes of published caches on this node
+	// (<= 0 means unbounded). Eviction is LRU among unpinned caches.
+	Budget int64
+
+	// Quota is the per-cache fill quota passed to qcow (0 sizes the quota
+	// to hold the whole base plus fill metadata). It is part of the cache
+	// key: caches built with different quotas are distinct.
+	Quota int64
+
+	// ClusterBits selects the cache images' cluster size (0 means
+	// qcow.CacheClusterBits). Also part of the cache key.
+	ClusterBits int
+
+	// Backing is the storage node's store holding the base images —
+	// typically an rblock.RemoteStore, but any backend.Store works.
+	Backing backend.Store
+
+	// BackingName is the namespace name backing-file strings use
+	// (default "storage"); cache headers record "<BackingName>:<base>".
+	BackingName string
+
+	// Peers lists rblock addresses of peer cache managers tried, in
+	// order, before falling back to copy-on-read warming.
+	Peers []string
+
+	// PeerTimeout bounds each peer-transfer request (0 means
+	// DefaultPeerTimeout).
+	PeerTimeout time.Duration
+
+	// WarmSpans are the guest-read spans replayed to warm a cold cache
+	// (nil warms the whole base — suitable for small images; production
+	// deployments pass a boot profile).
+	WarmSpans []core.Span
+
+	// Logf, when non-nil, receives lifecycle events.
+	Logf func(format string, args ...any)
+
+	// WrapWarmFile, when non-nil, wraps the temp container during
+	// copy-on-read warming — the failure-injection hook the crash tests
+	// use (backend.FaultyFile) to kill a warm mid-fill.
+	WrapWarmFile func(f backend.File) backend.File
+}
+
+// counters is the live form behind Stats snapshots.
+type counters struct {
+	coldWarms      atomic.Int64
+	warmFailures   atomic.Int64
+	peerAttempts   atomic.Int64
+	peerFetches    atomic.Int64
+	peerFetchBytes atomic.Int64
+	peerFallbacks  atomic.Int64
+	attaches       atomic.Int64
+	sharedWaits    atomic.Int64
+	published      atomic.Int64
+	discardedTemps atomic.Int64
+	droppedCorrupt atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the manager's activity.
+type Stats struct {
+	ColdWarms      int64 // caches warmed through the CoR path
+	WarmFailures   int64 // warms that failed (peer and CoR both)
+	PeerAttempts   int64 // peer transfers tried
+	PeerFetches    int64 // caches pulled wholesale from a peer
+	PeerFetchBytes int64 // bytes transferred from peers
+	PeerFallbacks  int64 // cold misses where every peer failed
+	Attaches       int64 // sessions attached to a published cache
+	SharedWaits    int64 // sessions that waited on an in-flight warm
+	Published      int64 // successful publications this run
+	DiscardedTemps int64 // crashed warms discarded at startup
+	DroppedCorrupt int64 // published files failing verification at startup
+
+	PoolHits, PoolMisses, Evictions int64
+	Used, Budget                    int64
+	Resident                        int
+}
+
+// String renders the snapshot for status output.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "caches: %d resident, %d/%d bytes used", s.Resident, s.Used, s.Budget)
+	fmt.Fprintf(&b, "\nwarm: %d cold (CoR), %d from peers (%.1f MB), %d peer fallbacks, %d failures",
+		s.ColdWarms, s.PeerFetches, float64(s.PeerFetchBytes)/1e6, s.PeerFallbacks, s.WarmFailures)
+	fmt.Fprintf(&b, "\nsessions: %d attaches, %d shared singleflight waits", s.Attaches, s.SharedWaits)
+	fmt.Fprintf(&b, "\npool: %d hits, %d misses, %d evictions", s.PoolHits, s.PoolMisses, s.Evictions)
+	fmt.Fprintf(&b, "\nrecovery: %d temps discarded, %d corrupt caches dropped", s.DiscardedTemps, s.DroppedCorrupt)
+	return b.String()
+}
+
+// warmState is one in-flight singleflight warm.
+type warmState struct {
+	done chan struct{}
+	err  error // valid after done is closed
+}
+
+// Manager owns one node's cache directory.
+type Manager struct {
+	cfg         Config
+	dir         string
+	cb          int
+	backingName string
+	store       *backend.DirStore
+	scratch     *backend.MemStore
+	ns          *core.Namespace
+	pool        *core.Pool
+
+	mu       sync.Mutex
+	warming  map[string]*warmState
+	closed   bool
+	exporter *rblock.Server
+
+	stats counters
+}
+
+// New opens (or creates) the cache directory, discards crashed warms,
+// verifies surviving published caches, and seeds the LRU pool with them in
+// modification-time order (oldest least recently used).
+func New(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("cachemgr: Config.Dir is required")
+	}
+	if cfg.Backing == nil {
+		return nil, errors.New("cachemgr: Config.Backing is required")
+	}
+	cb := cfg.ClusterBits
+	if cb == 0 {
+		cb = qcow.CacheClusterBits
+	}
+	backingName := cfg.BackingName
+	if backingName == "" {
+		backingName = "storage"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	store, err := backend.NewDirStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	scratch := backend.NewMemStore()
+	ns := core.NewNamespace(storeName, store)
+	ns.Register(backingName, cfg.Backing)
+	ns.Register(scratchName, scratch)
+
+	m := &Manager{
+		cfg:         cfg,
+		dir:         cfg.Dir,
+		cb:          cb,
+		backingName: backingName,
+		store:       store,
+		scratch:     scratch,
+		ns:          ns,
+		pool:        core.NewPool(cfg.Budget),
+		warming:     make(map[string]*warmState),
+	}
+	m.pool.OnEvict = func(name string, size int64) {
+		if err := os.Remove(filepath.Join(m.dir, name)); err != nil {
+			m.logf("cachemgr: evicting %s: %v", name, err)
+			return
+		}
+		m.logf("cachemgr: evicted %s (%d bytes)", name, size)
+	}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) { m.cfg.Logf(format, args...) }
+
+// Dir reports the managed cache directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// recover scans the cache directory after a (possible) crash: temp files are
+// partially-warmed caches whose publication never happened — discarded, never
+// served. Published files are re-verified; any that fail qcow.Check (torn
+// writes under the rename, bit rot) are dropped. Survivors seed the pool.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return err
+	}
+	type pub struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var pubs []pub
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, pubSuffix+tmpSuffix):
+			if err := os.Remove(filepath.Join(m.dir, name)); err != nil {
+				return fmt.Errorf("cachemgr: discarding crashed warm %s: %w", name, err)
+			}
+			m.stats.discardedTemps.Add(1)
+			m.logf("cachemgr: discarded crashed warm %s", name)
+		case strings.HasSuffix(name, pubSuffix):
+			fi, err := e.Info()
+			if err != nil {
+				return err
+			}
+			if err := m.verifyPublished(name); err != nil {
+				if rmErr := os.Remove(filepath.Join(m.dir, name)); rmErr != nil {
+					return fmt.Errorf("cachemgr: dropping corrupt cache %s: %w", name, rmErr)
+				}
+				m.stats.droppedCorrupt.Add(1)
+				m.logf("cachemgr: dropped corrupt cache %s: %v", name, err)
+				continue
+			}
+			pubs = append(pubs, pub{name: name, size: fi.Size(), mtime: fi.ModTime()})
+		}
+	}
+	sort.Slice(pubs, func(i, j int) bool { return pubs[i].mtime.Before(pubs[j].mtime) })
+	for _, p := range pubs {
+		if _, ok := m.pool.Add(p.name, p.size); !ok {
+			// Larger than the whole budget: cannot be kept.
+			os.Remove(filepath.Join(m.dir, p.name)) //nolint:errcheck // best-effort drop
+			m.logf("cachemgr: dropped %s (%d bytes exceeds budget %d)", p.name, p.size, m.cfg.Budget)
+		}
+	}
+	return nil
+}
+
+// verifyPublished runs the full consistency check on a published cache.
+func (m *Manager) verifyPublished(name string) error {
+	f, err := m.store.Open(name, true)
+	if err != nil {
+		return err
+	}
+	img, err := qcow.OpenVerified(f, qcow.OpenOpts{ReadOnly: true})
+	if err != nil {
+		return err // OpenVerified closed f
+	}
+	return img.Close()
+}
+
+// KeyFor derives the published cache name for a base image under this
+// manager's creation parameters. Managers with the same (cluster-size,
+// quota) configuration derive the same key, which is what makes peer
+// transfer work: the key is the wire name of the export.
+func (m *Manager) KeyFor(base string) string {
+	return fmt.Sprintf("%s-cb%d-q%d%s", sanitize(base), m.cb, m.cfg.Quota, pubSuffix)
+}
+
+// sanitize maps a base-image name to a filesystem- and wire-safe token.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// Lease pins a published cache for one boot session; the cache cannot be
+// evicted until every lease on it is released.
+type Lease struct {
+	m    *Manager
+	key  string
+	base string
+	once sync.Once
+}
+
+// Key reports the published cache name the lease pins.
+func (l *Lease) Key() string { return l.key }
+
+// Locator reports the cache's position in the manager's namespace.
+func (l *Lease) Locator() core.Locator { return core.Locator{Store: storeName, Name: l.key} }
+
+// Release unpins the cache. Releasing twice is a no-op.
+func (l *Lease) Release() { l.once.Do(func() { l.m.pool.Unpin(l.key) }) }
+
+// Acquire returns a lease on the warm cache for base, warming it first if
+// needed. Concurrent calls for the same base perform exactly one warm: the
+// first caller becomes the warmer, the rest wait on its outcome and then
+// attach to the published cache (singleflight admission).
+func (m *Manager) Acquire(base string) (*Lease, error) {
+	key := m.KeyFor(base)
+	for attempt := 0; ; attempt++ {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if ws := m.warming[key]; ws != nil {
+			m.mu.Unlock()
+			m.stats.sharedWaits.Add(1)
+			<-ws.done
+			if ws.err != nil {
+				return nil, ws.err
+			}
+			continue // published by the warmer; attach on the next pass
+		}
+		if m.pool.Lookup(key) && m.pool.Pin(key) {
+			m.mu.Unlock()
+			m.stats.attaches.Add(1)
+			return &Lease{m: m, key: key, base: base}, nil
+		}
+		if attempt >= 3 {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("cachemgr: %s: published cache evicted before attach, repeatedly", key)
+		}
+		ws := &warmState{done: make(chan struct{})}
+		m.warming[key] = ws
+		m.mu.Unlock()
+
+		ws.err = m.warm(base, key)
+		m.mu.Lock()
+		delete(m.warming, key)
+		m.mu.Unlock()
+		close(ws.done)
+		if ws.err != nil {
+			m.stats.warmFailures.Add(1)
+			return nil, ws.err
+		}
+	}
+}
+
+// Session is one VM boot attached to a shared cache: a private CoW image
+// chained onto the published cache, which is in turn chained onto the
+// storage node's base.
+type Session struct {
+	// Chain serves the session's guest I/O; [0] is the private CoW top.
+	Chain *core.Chain
+
+	m       *Manager
+	lease   *Lease
+	cowName string
+	closed  bool
+}
+
+// Boot acquires the warm cache for base and opens a boot session on it.
+// vmID distinguishes concurrent sessions for the same base.
+func (m *Manager) Boot(base, vmID string) (*Session, error) {
+	lease, err := m.Acquire(base)
+	if err != nil {
+		return nil, err
+	}
+	cacheLoc := lease.Locator()
+	size, err := core.VirtualSizeOf(m.ns, cacheLoc)
+	if err != nil {
+		lease.Release()
+		return nil, err
+	}
+	cowName := sanitize(vmID) + "-" + lease.key + ".cow"
+	if err := core.CreateCoW(m.ns, core.Locator{Store: scratchName, Name: cowName}, cacheLoc, size, 0); err != nil {
+		lease.Release()
+		return nil, err
+	}
+	// BackingReadOnly: the published cache is immutable — attach without
+	// the §4.3 read-write probe, which its file permissions would reject.
+	chain, err := core.OpenChain(m.ns, core.Locator{Store: scratchName, Name: cowName},
+		core.ChainOpts{BackingReadOnly: true})
+	if err != nil {
+		m.scratch.Remove(cowName) //nolint:errcheck // unwinding
+		lease.Release()
+		return nil, err
+	}
+	return &Session{Chain: chain, m: m, lease: lease, cowName: cowName}, nil
+}
+
+// Close tears the session down: the chain closes, the private CoW image is
+// deleted, and the cache lease is released.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.Chain.Close()
+	s.m.scratch.Remove(s.cowName) //nolint:errcheck // scratch is ephemeral
+	s.lease.Release()
+	return err
+}
+
+// Stats returns a snapshot of the manager's activity.
+func (m *Manager) Stats() Stats {
+	hits, misses, evictions := m.pool.Stats()
+	return Stats{
+		ColdWarms:      m.stats.coldWarms.Load(),
+		WarmFailures:   m.stats.warmFailures.Load(),
+		PeerAttempts:   m.stats.peerAttempts.Load(),
+		PeerFetches:    m.stats.peerFetches.Load(),
+		PeerFetchBytes: m.stats.peerFetchBytes.Load(),
+		PeerFallbacks:  m.stats.peerFallbacks.Load(),
+		Attaches:       m.stats.attaches.Load(),
+		SharedWaits:    m.stats.sharedWaits.Load(),
+		Published:      m.stats.published.Load(),
+		DiscardedTemps: m.stats.discardedTemps.Load(),
+		DroppedCorrupt: m.stats.droppedCorrupt.Load(),
+		PoolHits:       hits,
+		PoolMisses:     misses,
+		Evictions:      evictions,
+		Used:           m.pool.Used(),
+		Budget:         m.pool.Capacity(),
+		Resident:       m.pool.Len(),
+	}
+}
+
+// Close shuts the manager down: new Acquires fail, and the peer exporter (if
+// serving) drains gracefully.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	exp := m.exporter
+	m.mu.Unlock()
+	if exp != nil {
+		return exp.Shutdown(shutdownDrain)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package cachemgr
+
+import (
+	"fmt"
+	"strings"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/rblock"
+)
+
+// exportStore is the peer-facing view of the cache directory: only published
+// caches are visible, always read-only. Temp files, CoW scratch, and anything
+// else in the directory do not exist as far as peers are concerned, so a
+// partially-warmed cache can never leak across the network.
+type exportStore struct{ m *Manager }
+
+// Open serves a published cache read-only.
+func (e exportStore) Open(name string, _ bool) (backend.File, error) {
+	if !strings.HasSuffix(name, pubSuffix) || !e.m.pool.Contains(name) {
+		return nil, fmt.Errorf("%w: %s", backend.ErrNotExist, name)
+	}
+	return e.m.store.Open(name, true)
+}
+
+// Create is rejected: peers cannot write into the cache directory.
+func (e exportStore) Create(name string) (backend.File, error) {
+	return nil, fmt.Errorf("cachemgr: export is read-only: %s", name)
+}
+
+// Remove is rejected: peers cannot delete caches.
+func (e exportStore) Remove(name string) error {
+	return fmt.Errorf("cachemgr: export is read-only: %s", name)
+}
+
+// Stat reports a published cache's size.
+func (e exportStore) Stat(name string) (int64, error) {
+	if !strings.HasSuffix(name, pubSuffix) || !e.m.pool.Contains(name) {
+		return 0, fmt.Errorf("%w: %s", backend.ErrNotExist, name)
+	}
+	return e.m.store.Stat(name)
+}
+
+// ServePeers starts exporting this node's published caches over rblock so
+// peer managers can pull them wholesale. Returns the bound address.
+func (m *Manager) ServePeers(addr string) (string, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrClosed
+	}
+	if m.exporter != nil {
+		m.mu.Unlock()
+		return "", fmt.Errorf("cachemgr: already exporting")
+	}
+	m.mu.Unlock()
+
+	srv := rblock.NewServer(exportStore{m}, rblock.ServerOpts{
+		ReadOnly: true,
+		Logf:     m.cfg.Logf,
+	})
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	m.exporter = srv
+	m.mu.Unlock()
+	m.logf("cachemgr: exporting published caches on %s", bound)
+	return bound, nil
+}
+
+// ExportStats snapshots the peer exporter's traffic counters; ok is false
+// when the manager is not exporting.
+func (m *Manager) ExportStats() (stats rblock.ServerStats, ok bool) {
+	m.mu.Lock()
+	exp := m.exporter
+	m.mu.Unlock()
+	if exp == nil {
+		return rblock.ServerStats{}, false
+	}
+	return exp.Stats(), true
+}

@@ -1,0 +1,194 @@
+package cachemgr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/core"
+	"vmicache/internal/qcow"
+	"vmicache/internal/rblock"
+)
+
+// warm produces the published cache for base under key. It tries each
+// configured peer first — pulling the already-warm cache wholesale over
+// rblock keeps the storage node off the critical path entirely — and falls
+// back to copy-on-read warming from the storage node. Either way the result
+// passes through publish: verify, sync, rename.
+func (m *Manager) warm(base, key string) error {
+	tmpName := key + tmpSuffix
+	// A stale temp here is a previous failed warm; it was never published
+	// and is safe to overwrite.
+	m.store.Remove(tmpName) //nolint:errcheck // may not exist
+
+	for _, peer := range m.cfg.Peers {
+		m.stats.peerAttempts.Add(1)
+		n, err := m.fetchFromPeer(peer, key, tmpName)
+		if err == nil {
+			if err = m.publish(key); err == nil {
+				m.stats.peerFetches.Add(1)
+				m.stats.peerFetchBytes.Add(n)
+				m.logf("cachemgr: pulled %s (%d bytes) from peer %s", key, n, peer)
+				return nil
+			}
+			m.logf("cachemgr: peer copy of %s failed verification: %v", key, err)
+		} else {
+			m.logf("cachemgr: peer %s: %v", peer, err)
+		}
+		m.store.Remove(tmpName) //nolint:errcheck // reset for the next attempt
+	}
+	if len(m.cfg.Peers) > 0 {
+		m.stats.peerFallbacks.Add(1)
+	}
+
+	if err := m.corWarm(base, tmpName); err != nil {
+		// Leave the temp in place, exactly as a crash would: the next
+		// warm overwrites it and a restart discards it. It is never
+		// served, because attach only consults published names.
+		return err
+	}
+	if err := m.publish(key); err != nil {
+		return err
+	}
+	m.stats.coldWarms.Add(1)
+	m.logf("cachemgr: warmed %s through copy-on-read", key)
+	return nil
+}
+
+// fetchFromPeer copies the published cache key from a peer manager's rblock
+// export into the local temp file. Returns bytes transferred.
+func (m *Manager) fetchFromPeer(addr, key, tmpName string) (int64, error) {
+	c, err := rblock.Dial(addr, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close() //nolint:errcheck // transfer already finished or failed
+	c.SetTimeout(m.cfg.PeerTimeout)
+	return backend.CopyFile(m.store, tmpName, rblock.RemoteStore{C: c}, key)
+}
+
+// corWarm creates a cache image in the temp file, chains it to the storage
+// node's base, and replays the warm spans through it: the cache fills itself
+// through the copy-on-read path, exactly as a first boot would.
+func (m *Manager) corWarm(base, tmpName string) error {
+	baseLoc := core.Locator{Store: m.backingName, Name: base}
+	baseSize, err := core.VirtualSizeOf(m.ns, baseLoc)
+	if err != nil {
+		return fmt.Errorf("cachemgr: sizing base %s: %w", base, err)
+	}
+	quota := m.cfg.Quota
+	if quota <= 0 {
+		quota = fullWarmQuota(baseSize, m.cb)
+	}
+	tmpLoc := core.Locator{Store: storeName, Name: tmpName}
+	if err := core.CreateCache(m.ns, tmpLoc, baseLoc, baseSize, quota, m.cb); err != nil {
+		return fmt.Errorf("cachemgr: creating cache for %s: %w", base, err)
+	}
+	chain, err := core.OpenChain(m.ns, tmpLoc, core.ChainOpts{WrapFile: m.warmWrap})
+	if err != nil {
+		return fmt.Errorf("cachemgr: opening warm chain for %s: %w", base, err)
+	}
+	spans := m.cfg.WarmSpans
+	if spans == nil {
+		spans = fullSpans(baseSize)
+	}
+	if _, err := core.Warm(chain, spans); err != nil {
+		chain.Close() //nolint:errcheck // already failing
+		return err
+	}
+	return chain.Close()
+}
+
+// warmWrap applies the test failure-injection hook to the warming temp
+// container (chain depth 0) only.
+func (m *Manager) warmWrap(_ core.Locator, f backend.File, depth int) backend.File {
+	if depth == 0 && m.cfg.WrapWarmFile != nil {
+		return m.cfg.WrapWarmFile(f)
+	}
+	return f
+}
+
+// publish is the crash-safe commit point: verify the warmed temp with a full
+// qcow.Check, sync it, mark it immutable, rename it into the published name,
+// and sync the directory so the rename is durable. Only then does the cache
+// enter the pool and become attachable. A crash anywhere before the rename
+// leaves only a temp file, which recovery discards.
+func (m *Manager) publish(key string) error {
+	tmpPath := filepath.Join(m.dir, key+tmpSuffix)
+	pubPath := filepath.Join(m.dir, key)
+
+	f, err := backend.OpenOSFile(tmpPath, false)
+	if err != nil {
+		return err
+	}
+	img, err := qcow.OpenVerified(f, qcow.OpenOpts{})
+	if err != nil {
+		return fmt.Errorf("cachemgr: verifying %s: %w", key, err) // f closed by OpenVerified
+	}
+	// Close syncs the cache-used header field and fsyncs the container.
+	if err := img.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmpPath, 0o444); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, pubPath); err != nil {
+		return err
+	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
+	fi, err := os.Stat(pubPath)
+	if err != nil {
+		return err
+	}
+	evicted, ok := m.pool.Add(key, fi.Size())
+	if !ok {
+		os.Remove(pubPath) //nolint:errcheck // cannot keep it anyway
+		return fmt.Errorf("cachemgr: %s (%d bytes) exceeds the node cache budget (%d)",
+			key, fi.Size(), m.pool.Capacity())
+	}
+	m.stats.published.Add(1)
+	for _, name := range evicted {
+		m.logf("cachemgr: %s displaced %s", key, name)
+	}
+	return nil
+}
+
+// fullWarmQuota sizes a quota big enough to hold every data cluster of the
+// base plus all fill metadata (L2 tables, refcount blocks), so a whole-image
+// warm never trips the cache-full brake.
+func fullWarmQuota(size int64, cb int) int64 {
+	cs := int64(1) << cb
+	clusters := ceilDiv(size, cs)
+	l2Tables := ceilDiv(clusters, cs/8)
+	refBlocks := ceilDiv(clusters, cs/2)
+	return qcow.MinCacheQuota(size, cb) + (clusters+l2Tables+refBlocks+8)*cs
+}
+
+// fullSpans covers [0, size) in 1 MiB warm spans.
+func fullSpans(size int64) []core.Span {
+	const step = 1 << 20
+	spans := make([]core.Span, 0, ceilDiv(size, step))
+	for off := int64(0); off < size; off += step {
+		n := int64(step)
+		if size-off < n {
+			n = size - off
+		}
+		spans = append(spans, core.Span{Off: off, Len: n})
+	}
+	return spans
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// syncDir fsyncs a directory, making a completed rename durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //nolint:errcheck // read-only directory handle
+	return d.Sync()
+}

@@ -83,6 +83,13 @@ type ChainOpts struct {
 	// TopReadOnly opens the whole chain without write permission.
 	TopReadOnly bool
 
+	// BackingReadOnly opens every backing image read-only, skipping the
+	// §4.3 read-write probe entirely. This is the attach path for
+	// published immutable caches (internal/cachemgr): the cache is
+	// already warm, must not be mutated, and may sit on a file whose
+	// permissions forbid writing.
+	BackingReadOnly bool
+
 	// WrapFile, when non-nil, wraps each opened container before the
 	// image is parsed. The cluster simulator uses this to attach traffic
 	// accounting and simulated-time costs per medium.
@@ -177,7 +184,7 @@ func OpenChain(ns *Namespace, loc Locator, opts ChainOpts) (*Chain, error) {
 		// read-only too ("the default flag for the backing images is
 		// read-only ... we first open the backing image with read and
 		// write permissions").
-		ro := opts.TopReadOnly && depth == 0
+		ro := opts.TopReadOnly && depth == 0 || opts.BackingReadOnly && depth > 0
 		f, err := st.Open(cur.Name, ro)
 		if err != nil {
 			c.Close() //nolint:errcheck

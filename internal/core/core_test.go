@@ -473,6 +473,48 @@ func TestPoolNamesOrder(t *testing.T) {
 	}
 }
 
+func TestPoolPinBlocksEviction(t *testing.T) {
+	p := NewPool(100)
+	p.Add("a", 60) //nolint:errcheck
+	p.Add("b", 40) //nolint:errcheck
+	if !p.Pin("a") {
+		t.Fatal("pin a")
+	}
+	// a is LRU but pinned: the eviction scan must skip it and take b, even
+	// though that leaves the pool over budget.
+	ev, ok := p.Add("c", 50)
+	if !ok || len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("evicted %v (ok=%v), want [b]", ev, ok)
+	}
+	if !p.Contains("a") || p.Used() != 110 {
+		t.Fatalf("pinned entry lost or used wrong: used=%d", p.Used())
+	}
+	// With everything evictable pinned, adds still succeed over budget.
+	p.Pin("c")
+	ev, ok = p.Add("d", 10)
+	if !ok || len(ev) != 0 {
+		t.Fatalf("all-pinned add: evicted %v (ok=%v)", ev, ok)
+	}
+	p.Pin("d")
+	// Pins nest: a double-pinned entry needs two unpins to become
+	// evictable again.
+	p.Pin("a")
+	p.Unpin("a")
+	ev, _ = p.Add("e", 10)
+	if len(ev) != 0 {
+		t.Fatalf("single unpin of a double pin allowed eviction: %v", ev)
+	}
+	p.Pin("e")
+	p.Unpin("a")
+	ev, _ = p.Add("f", 10)
+	if len(ev) != 1 || ev[0] != "a" {
+		t.Fatalf("after full unpin: evicted %v, want [a]", ev)
+	}
+	if p.Pin("zzz") {
+		t.Fatal("pinned a missing entry")
+	}
+}
+
 func TestCreateBaseCompressed(t *testing.T) {
 	nfs := backend.NewMemStore()
 	ns := NewNamespace("nfs", nfs)

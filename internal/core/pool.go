@@ -29,6 +29,7 @@ type Pool struct {
 type poolEntry struct {
 	name       string
 	size       int64
+	pins       int // leases holding this entry; pinned entries are never evicted
 	prev, next *poolEntry
 }
 
@@ -105,16 +106,21 @@ func (p *Pool) Add(name string, size int64) (evicted []string, ok bool) {
 		p.used += size
 	}
 	var victims []*poolEntry
-	for p.capacity > 0 && p.used > p.capacity && p.tail != nil {
-		v := p.tail
-		if v.name == name {
-			break // never evict the entry just added
+	for v := p.tail; v != nil && p.capacity > 0 && p.used > p.capacity; {
+		prev := v.prev
+		if v.name == name || v.pins > 0 {
+			// Never evict the entry just added or a pinned (leased)
+			// entry; keep scanning toward the head. The pool may stay
+			// over budget when everything evictable is pinned.
+			v = prev
+			continue
 		}
 		p.unlink(v)
 		delete(p.entries, v.name)
 		p.used -= v.size
 		p.evictions++
 		victims = append(victims, v)
+		v = prev
 	}
 	onEvict := p.OnEvict
 	p.mu.Unlock()
@@ -126,6 +132,29 @@ func (p *Pool) Add(name string, size int64) (evicted []string, ok bool) {
 		evicted = append(evicted, v.name)
 	}
 	return evicted, true
+}
+
+// Pin marks an entry in-use, excluding it from eviction until a matching
+// Unpin. Pins nest: each Pin needs its own Unpin. Reports whether the entry
+// exists.
+func (p *Pool) Pin(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[name]
+	if !ok {
+		return false
+	}
+	e.pins++
+	return true
+}
+
+// Unpin releases one Pin. Unpinning a missing or unpinned entry is a no-op.
+func (p *Pool) Unpin(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[name]; ok && e.pins > 0 {
+		e.pins--
+	}
 }
 
 // Remove drops an entry without invoking OnEvict.

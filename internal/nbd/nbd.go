@@ -14,6 +14,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Protocol magics and constants (https://github.com/NetworkBlockDevice/nbd
@@ -73,12 +74,17 @@ type Export struct {
 
 // Server serves NBD exports over TCP.
 type Server struct {
-	mu      sync.Mutex
-	exports map[string]Export
-	ln      net.Listener
-	closed  bool
-	conns   map[net.Conn]struct{}
-	logf    func(format string, args ...any)
+	mu       sync.Mutex
+	exports  map[string]Export
+	ln       net.Listener
+	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{}
+	logf     func(format string, args ...any)
+
+	// activeReqs counts dispatched device requests still in flight, so
+	// Shutdown can drain them before tearing connections down.
+	activeReqs atomic.Int64
 
 	// Stats
 	ReadOps  atomic.Int64
@@ -143,7 +149,7 @@ func (s *Server) Listen(addr string) (string, error) {
 				return
 			}
 			s.mu.Lock()
-			if s.closed {
+			if s.closed || s.draining {
 				s.mu.Unlock()
 				conn.Close() //nolint:errcheck
 				return
@@ -156,10 +162,15 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections immediately, without waiting
+// for in-flight requests. Prefer Shutdown for command-line servers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Server) closeLocked() error {
 	if s.closed {
 		return nil
 	}
@@ -170,6 +181,38 @@ func (s *Server) Close() error {
 	}
 	for c := range s.conns {
 		c.Close() //nolint:errcheck
+	}
+	return err
+}
+
+// Shutdown stops the server gracefully: the listener closes immediately (no
+// new connections), in-flight device requests get up to drain to complete and
+// write their replies, then all connections are closed. Requests still
+// running at the deadline are cut off by the connection close.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	var lnErr error
+	if s.ln != nil {
+		lnErr = s.ln.Close()
+		s.ln = nil
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(drain)
+	for s.activeReqs.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	err := s.closeLocked()
+	s.mu.Unlock()
+	if err == nil {
+		err = lnErr
 	}
 	return err
 }
@@ -329,8 +372,9 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 	dispatch := func(fn func()) {
 		sem <- struct{}{}
 		wg.Add(1)
+		s.activeReqs.Add(1)
 		go func() {
-			defer func() { <-sem; wg.Done() }()
+			defer func() { s.activeReqs.Add(-1); <-sem; wg.Done() }()
 			fn()
 		}()
 	}

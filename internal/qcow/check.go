@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"vmicache/internal/backend"
 )
 
 // CheckResult summarises a consistency pass over an image, in the spirit of
@@ -136,6 +138,29 @@ func (img *Image) Check() (*CheckResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// OpenVerified opens the image in f and runs a full consistency Check before
+// returning it. An image whose metadata fails the check is closed and
+// rejected with ErrCorrupt. This is the publication gate of the node cache
+// manager: a cache is only renamed into its published (immutable) name after
+// OpenVerified succeeds on the warmed temp file, so a partially-written or
+// torn container can never be served.
+func OpenVerified(f backend.File, opts OpenOpts) (*Image, error) {
+	img, err := Open(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := img.Check()
+	if err != nil {
+		img.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	if !res.OK() {
+		img.Close() //nolint:errcheck
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, res.Errors[0])
+	}
+	return img, nil
 }
 
 // Extent describes one run of the guest-visible mapping, as `qemu-img map`

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"vmicache/internal/backend"
 	"vmicache/internal/boot"
@@ -66,8 +67,8 @@ func TestRemoteReadWriteRoundTrip(t *testing.T) {
 		t.Fatal("read mismatch")
 	}
 	// Reads are segmented at the server too.
-	if srv.Stats().ReadOps.Load() < 2 {
-		t.Fatalf("expected segmented reads, got %d ops", srv.Stats().ReadOps.Load())
+	if srv.Stats().ReadOps < 2 {
+		t.Fatalf("expected segmented reads, got %d ops", srv.Stats().ReadOps)
 	}
 	// Write + read-back + sync + truncate.
 	payload := []byte("written remotely")
@@ -256,8 +257,138 @@ func TestConcurrentClients(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if srv.Stats().Conns.Load() != clients {
-		t.Fatalf("conns = %d", srv.Stats().Conns.Load())
+	if srv.Stats().Conns != clients {
+		t.Fatalf("conns = %d", srv.Stats().Conns)
+	}
+}
+
+func TestServerStatsPerImage(t *testing.T) {
+	store, addr, srv := newServer(t, ServerOpts{})
+	for _, name := range []string{"hot", "cold"} {
+		f, _ := store.Create(name)
+		backend.WriteFull(f, make([]byte, 8<<10), 0) //nolint:errcheck
+	}
+	c := dial(t, addr, 0)
+	fh, err := c.Open("hot", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := c.Open("cold", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8<<10)
+	for i := 0; i < 3; i++ {
+		if err := backend.ReadFull(fh, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := backend.ReadFull(fc, buf[:1<<10], 0); err != nil {
+		t.Fatal(err)
+	}
+
+	st := srv.Stats()
+	hot, cold := st.PerImage["hot"], st.PerImage["cold"]
+	if hot.Opens != 1 || cold.Opens != 1 {
+		t.Fatalf("opens: hot=%d cold=%d", hot.Opens, cold.Opens)
+	}
+	if hot.BytesRead != 3*8<<10 || cold.BytesRead != 1<<10 {
+		t.Fatalf("bytes: hot=%d cold=%d", hot.BytesRead, cold.BytesRead)
+	}
+	if hot.ReadOps < 3 || cold.ReadOps < 1 {
+		t.Fatalf("read ops: hot=%d cold=%d", hot.ReadOps, cold.ReadOps)
+	}
+	if st.BytesRead != hot.BytesRead+cold.BytesRead {
+		t.Fatalf("totals disagree with per-image: %d vs %d", st.BytesRead, hot.BytesRead+cold.BytesRead)
+	}
+	// The snapshot is detached from the live counters.
+	st.PerImage["hot"] = ImageStats{}
+	if srv.Stats().PerImage["hot"].BytesRead == 0 {
+		t.Fatal("snapshot aliases live counters")
+	}
+}
+
+// gateStore wraps a store so server-side reads block until released — a way
+// to hold a request in flight while Shutdown drains.
+type gateStore struct {
+	inner   backend.Store
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gateStore) Open(name string, ro bool) (backend.File, error) {
+	f, err := g.inner.Open(name, ro)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+func (g *gateStore) Create(name string) (backend.File, error) { return g.inner.Create(name) }
+func (g *gateStore) Remove(name string) error                 { return g.inner.Remove(name) }
+func (g *gateStore) Stat(name string) (int64, error)          { return g.inner.Stat(name) }
+
+type gateFile struct {
+	backend.File
+	g *gateStore
+}
+
+func (f *gateFile) ReadAt(p []byte, off int64) (int, error) {
+	select {
+	case f.g.entered <- struct{}{}:
+	default:
+	}
+	<-f.g.release
+	return f.File.ReadAt(p, off)
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	inner := backend.NewMemStore()
+	f, _ := inner.Create("slow")
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	if err := backend.WriteFull(f, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	gs := &gateStore{inner: inner, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := NewServer(gs, ServerOpts{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+
+	c := dial(t, addr, 0)
+	rf, err := c.Open("slow", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		buf := make([]byte, len(payload))
+		n, err := rf.ReadAt(buf, 0)
+		done <- result{n, err}
+	}()
+	<-gs.entered // the read is dispatched and parked server-side
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(gs.release)
+	}()
+	// Shutdown must wait for the parked request and flush its response
+	// before tearing the connection down.
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-done
+	if r.err != nil || r.n != len(payload) {
+		t.Fatalf("in-flight read across shutdown: n=%d err=%v", r.n, r.err)
+	}
+	// The listener is gone: no new connections.
+	if c2, err := Dial(addr, 0); err == nil {
+		c2.Close() //nolint:errcheck
+		t.Fatal("dial succeeded after shutdown")
 	}
 }
 
@@ -320,7 +451,7 @@ func TestQcowChainOverRemoteBase(t *testing.T) {
 	if !bytes.Equal(got, src.At(512, 100<<10)) {
 		t.Fatal("remote chain content mismatch")
 	}
-	served := srv.Stats().BytesRead.Load()
+	served := srv.Stats().BytesRead
 	if served == 0 {
 		t.Fatal("no traffic served")
 	}
@@ -328,8 +459,8 @@ func TestQcowChainOverRemoteBase(t *testing.T) {
 	if err := backend.ReadFull(cow, got, 512); err != nil {
 		t.Fatal(err)
 	}
-	if srv.Stats().BytesRead.Load() != served {
-		t.Fatalf("warm read produced traffic: %d -> %d", served, srv.Stats().BytesRead.Load())
+	if srv.Stats().BytesRead != served {
+		t.Fatalf("warm read produced traffic: %d -> %d", served, srv.Stats().BytesRead)
 	}
 }
 

@@ -3,34 +3,103 @@ package rblock
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"log"
 	"net"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vmicache/internal/backend"
 )
 
-// ServerStats aggregates traffic over all connections — the "observed
-// traffic at the storage node" of Fig. 9 for real deployments.
+// ServerStats is a point-in-time snapshot of a server's traffic counters —
+// the "observed traffic at the storage node" of Fig. 9 for real deployments.
 type ServerStats struct {
-	BytesRead    atomic.Int64 // payload bytes served to clients
-	BytesWritten atomic.Int64 // payload bytes received from clients
-	ReadOps      atomic.Int64
-	WriteOps     atomic.Int64
-	Opens        atomic.Int64
-	Conns        atomic.Int64
+	BytesRead    int64 // payload bytes served to clients
+	BytesWritten int64 // payload bytes received from clients
+	ReadOps      int64
+	WriteOps     int64
+	Opens        int64
+	Conns        int64 // connections accepted over the server's lifetime
+	ActiveConns  int64 // connections currently open
+
+	// PerImage breaks traffic down by export name — which images are hot,
+	// and how many bytes each one shipped (cache transfers show up here as
+	// one large read burst against the published cache name).
+	PerImage map[string]ImageStats
+}
+
+// ImageStats counts traffic attributed to one export name.
+type ImageStats struct {
+	Opens     int64
+	ReadOps   int64
+	BytesRead int64
+}
+
+// String renders the snapshot for status output.
+func (st ServerStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served %.1f MB over %d reads, received %.1f MB over %d writes, %d opens, %d conns (%d active)",
+		float64(st.BytesRead)/1e6, st.ReadOps,
+		float64(st.BytesWritten)/1e6, st.WriteOps,
+		st.Opens, st.Conns, st.ActiveConns)
+	names := make([]string, 0, len(st.PerImage))
+	for n := range st.PerImage {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		is := st.PerImage[n]
+		fmt.Fprintf(&b, "\n  %s: %d opens, %d reads, %.1f MB out", n, is.Opens, is.ReadOps, float64(is.BytesRead)/1e6)
+	}
+	return b.String()
+}
+
+// serverCounters is the live (atomic) form behind ServerStats snapshots.
+type serverCounters struct {
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	readOps      atomic.Int64
+	writeOps     atomic.Int64
+	opens        atomic.Int64
+	conns        atomic.Int64
+	activeConns  atomic.Int64
+	activeReqs   atomic.Int64 // requests currently dispatched (drained by Shutdown)
+
+	mu       sync.Mutex
+	perImage map[string]*imageCounters
+}
+
+type imageCounters struct {
+	opens     atomic.Int64
+	readOps   atomic.Int64
+	bytesRead atomic.Int64
+}
+
+func (c *serverCounters) image(name string) *imageCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ic, ok := c.perImage[name]
+	if !ok {
+		ic = &imageCounters{}
+		c.perImage[name] = ic
+	}
+	return ic
 }
 
 // Server exports a Store over TCP.
 type Server struct {
 	store  backend.Store
 	rwsize int
-	stats  ServerStats
+	stats  serverCounters
 
 	mu       sync.Mutex
 	ln       net.Listener
 	closed   bool
+	draining bool
 	conns    map[net.Conn]struct{}
 	logf     func(format string, args ...any)
 	readOnly bool
@@ -57,17 +126,42 @@ func NewServer(store backend.Store, opts ServerOpts) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	srv := &Server{
 		store:    store,
 		rwsize:   rw,
 		conns:    make(map[net.Conn]struct{}),
 		logf:     logf,
 		readOnly: opts.ReadOnly,
 	}
+	srv.stats.perImage = make(map[string]*imageCounters)
+	return srv
 }
 
-// Stats exposes the server's traffic counters.
-func (s *Server) Stats() *ServerStats { return &s.stats }
+// Stats returns a snapshot of the server's traffic counters, including the
+// per-image breakdown.
+func (s *Server) Stats() ServerStats {
+	c := &s.stats
+	snap := ServerStats{
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		ReadOps:      c.readOps.Load(),
+		WriteOps:     c.writeOps.Load(),
+		Opens:        c.opens.Load(),
+		Conns:        c.conns.Load(),
+		ActiveConns:  c.activeConns.Load(),
+		PerImage:     make(map[string]ImageStats),
+	}
+	c.mu.Lock()
+	for name, ic := range c.perImage {
+		snap.PerImage[name] = ImageStats{
+			Opens:     ic.opens.Load(),
+			ReadOps:   ic.readOps.Load(),
+			BytesRead: ic.bytesRead.Load(),
+		}
+	}
+	c.mu.Unlock()
+	return snap
+}
 
 // Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port) and
 // returns the bound address. Serving happens on background goroutines until
@@ -91,22 +185,28 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close() //nolint:errcheck
 			return
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		s.stats.Conns.Add(1)
+		s.stats.conns.Add(1)
+		s.stats.activeConns.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections immediately, without waiting
+// for in-flight requests. Prefer Shutdown for command-line servers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Server) closeLocked() error {
 	if s.closed {
 		return nil
 	}
@@ -121,6 +221,39 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown stops the server gracefully: the listener closes immediately (no
+// new connections), then in-flight requests are given up to drain to finish
+// and flush their responses before the connections are torn down. Requests
+// still running at the deadline are cut off by the connection close. A zero
+// or negative drain degrades to Close.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	var lnErr error
+	if s.ln != nil {
+		lnErr = s.ln.Close()
+		s.ln = nil
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(drain)
+	for s.stats.activeReqs.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	err := s.closeLocked()
+	s.mu.Unlock()
+	if err == nil {
+		err = lnErr
+	}
+	return err
+}
+
 // maxConcurrentPerConn bounds how many requests of one connection are
 // dispatched simultaneously.
 const maxConcurrentPerConn = 16
@@ -129,15 +262,22 @@ const maxConcurrentPerConn = 16
 // request handlers.
 type connState struct {
 	mu         sync.Mutex
-	handles    map[uint32]backend.File
+	handles    map[uint32]*openHandle
 	nextHandle uint32
 }
 
-func (cs *connState) get(h uint32) (backend.File, bool) {
+// openHandle ties an open file to the export name it was opened under, so
+// traffic can be attributed per image.
+type openHandle struct {
+	f  backend.File
+	ic *imageCounters
+}
+
+func (cs *connState) get(h uint32) (*openHandle, bool) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	f, ok := cs.handles[h]
-	return f, ok
+	oh, ok := cs.handles[h]
+	return oh, ok
 }
 
 // serveConn handles one client connection. Requests are dispatched
@@ -150,16 +290,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.stats.activeConns.Add(-1)
 	}()
 	br := bufio.NewReaderSize(conn, 128<<10)
 	bw := bufio.NewWriterSize(conn, 128<<10)
-	cs := &connState{handles: map[uint32]backend.File{}}
+	cs := &connState{handles: map[uint32]*openHandle{}}
 	var wmu sync.Mutex
 	var wg sync.WaitGroup
 	defer func() {
 		wg.Wait()
-		for _, f := range cs.handles {
-			f.Close() //nolint:errcheck
+		for _, oh := range cs.handles {
+			oh.f.Close() //nolint:errcheck
 		}
 	}()
 	sem := make(chan struct{}, maxConcurrentPerConn)
@@ -174,8 +315,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		sem <- struct{}{}
 		wg.Add(1)
+		s.stats.activeReqs.Add(1)
 		go func(req *frame) {
-			defer func() { <-sem; wg.Done() }()
+			defer func() { s.stats.activeReqs.Add(-1); <-sem; wg.Done() }()
 			resp := s.handle(req, cs)
 			resp.id = req.id
 			wmu.Lock()
@@ -203,8 +345,9 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if len(req.payload) == 0 || len(req.payload) > MaxNameLen {
 			return fail(StatusBadRequest)
 		}
+		name := string(req.payload)
 		ro := req.flags&1 != 0 || s.readOnly
-		f, err := s.store.Open(string(req.payload), ro)
+		f, err := s.store.Open(name, ro)
 		if err != nil {
 			return fail(StatusNotFound)
 		}
@@ -213,52 +356,56 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 			f.Close() //nolint:errcheck
 			return fail(StatusIO)
 		}
+		ic := s.stats.image(name)
 		cs.mu.Lock()
 		cs.nextHandle++
 		h := cs.nextHandle
-		cs.handles[h] = f
+		cs.handles[h] = &openHandle{f: f, ic: ic}
 		cs.mu.Unlock()
 		resp.handle = h
 		resp.aux = uint64(size)
-		s.stats.Opens.Add(1)
+		s.stats.opens.Add(1)
+		ic.opens.Add(1)
 		return resp
 
 	case OpRead:
-		f, ok := cs.get(req.handle)
+		oh, ok := cs.get(req.handle)
 		if !ok || req.aux == 0 || req.aux > uint64(s.rwsize) {
 			return fail(StatusBadRequest)
 		}
 		buf := make([]byte, req.aux)
-		n, err := f.ReadAt(buf, int64(req.offset))
+		n, err := oh.f.ReadAt(buf, int64(req.offset))
 		if err != nil && n == 0 && err.Error() != "EOF" {
 			return fail(StatusIO)
 		}
 		resp.payload = buf[:n]
-		s.stats.ReadOps.Add(1)
-		s.stats.BytesRead.Add(int64(n))
+		s.stats.readOps.Add(1)
+		s.stats.bytesRead.Add(int64(n))
+		oh.ic.readOps.Add(1)
+		oh.ic.bytesRead.Add(int64(n))
 		return resp
 
 	case OpWrite:
 		if s.readOnly {
 			return fail(StatusReadOnly)
 		}
-		f, ok := cs.get(req.handle)
+		oh, ok := cs.get(req.handle)
 		if !ok || len(req.payload) == 0 || len(req.payload) > s.rwsize {
 			return fail(StatusBadRequest)
 		}
-		if err := backend.WriteFull(f, req.payload, int64(req.offset)); err != nil {
+		if err := backend.WriteFull(oh.f, req.payload, int64(req.offset)); err != nil {
 			return fail(StatusIO)
 		}
-		s.stats.WriteOps.Add(1)
-		s.stats.BytesWritten.Add(int64(len(req.payload)))
+		s.stats.writeOps.Add(1)
+		s.stats.bytesWritten.Add(int64(len(req.payload)))
 		return resp
 
 	case OpSync:
-		f, ok := cs.get(req.handle)
+		oh, ok := cs.get(req.handle)
 		if !ok {
 			return fail(StatusBadRequest)
 		}
-		if err := f.Sync(); err != nil {
+		if err := oh.f.Sync(); err != nil {
 			return fail(StatusIO)
 		}
 		return resp
@@ -267,21 +414,21 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if s.readOnly {
 			return fail(StatusReadOnly)
 		}
-		f, ok := cs.get(req.handle)
+		oh, ok := cs.get(req.handle)
 		if !ok {
 			return fail(StatusBadRequest)
 		}
-		if err := f.Truncate(int64(req.aux)); err != nil {
+		if err := oh.f.Truncate(int64(req.aux)); err != nil {
 			return fail(StatusIO)
 		}
 		return resp
 
 	case OpStat:
-		f, ok := cs.get(req.handle)
+		oh, ok := cs.get(req.handle)
 		if !ok {
 			return fail(StatusBadRequest)
 		}
-		size, err := f.Size()
+		size, err := oh.f.Size()
 		if err != nil {
 			return fail(StatusIO)
 		}
@@ -290,7 +437,7 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 
 	case OpClose:
 		cs.mu.Lock()
-		f, ok := cs.handles[req.handle]
+		oh, ok := cs.handles[req.handle]
 		if ok {
 			delete(cs.handles, req.handle)
 		}
@@ -298,7 +445,7 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if !ok {
 			return fail(StatusBadRequest)
 		}
-		if err := f.Close(); err != nil {
+		if err := oh.f.Close(); err != nil {
 			return fail(StatusIO)
 		}
 		return resp
