@@ -1,11 +1,27 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check lint vet fmt build test race bench bench-baseline coverage
 
-# The full verification gate: vet, build, the plain test suite, and the
-# race-detector pass (which includes the concurrency stress tests in
-# internal/qcow and internal/rblock).
-check: vet build test race
+# The full verification gate: lint (gofmt + vet + staticcheck when
+# installed), build, the plain test suite, and the race-detector pass (which
+# includes the concurrency stress tests in internal/qcow and internal/rblock).
+check: lint build test race
+
+# lint fails on unformatted files and vet findings; staticcheck runs when the
+# binary is on PATH (CI installs it; local runs without it still gate on
+# gofmt + vet).
+lint: vet fmt
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +37,16 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 0.5s .
+
+# bench-baseline regenerates the committed CI baseline from the data-path
+# microbenchmarks. -cpu 4 pins GOMAXPROCS so benchmark names (and the
+# stripped-suffix keys benchjson compares on) are machine-independent;
+# -benchtime 2s keeps run-to-run noise well under the 20% regression gate.
+bench-baseline:
+	$(GO) test -run xxx -bench 'WarmRead|ColdFill|RoundTrip|PipelinedRead' \
+		-benchmem -benchtime 2s -cpu 4 ./internal/qcow/ ./internal/rblock/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_pr3.json
+
+coverage:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	nbdserve [-addr HOST:PORT] [-C dir] [-ro] IMAGE [IMAGE...]
+//	nbdserve [-addr HOST:PORT] [-C dir] [-ro] [-metrics-addr HOST:PORT]
+//	         IMAGE [IMAGE...]
 //
 // Each IMAGE (a chain top inside -C) is exported under its own name.
 package main
@@ -19,6 +20,7 @@ import (
 
 	"vmicache/internal/backend"
 	"vmicache/internal/core"
+	"vmicache/internal/metrics"
 	"vmicache/internal/nbd"
 )
 
@@ -36,6 +38,7 @@ func main() {
 	dir := fs.String("C", ".", "working directory holding the images")
 	ro := fs.Bool("ro", false, "export read-only")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "nbdserve: need at least one image name")
@@ -52,6 +55,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
 
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		srv.RegisterMetrics(reg, nil)
+		msrv, err := metrics.ListenAndServe(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbdserve: -metrics-addr %s: %v\n", *metricsAddr, err)
+			os.Exit(1)
+		}
+		defer msrv.Close() //nolint:errcheck // terminating anyway
+		fmt.Printf("nbdserve: metrics on http://%s/metrics\n", msrv.Addr())
+	}
+
 	var chains []*core.Chain
 	for _, name := range fs.Args() {
 		c, err := core.OpenChain(ns, core.Locator{Store: "dir", Name: name},
@@ -62,6 +78,14 @@ func main() {
 		}
 		chains = append(chains, c)
 		srv.AddExport(nbd.Export{Name: name, Device: chainDevice{c}, ReadOnly: *ro})
+		if reg != nil {
+			for depth, img := range c.Images {
+				img.RegisterMetrics(reg, metrics.Labels{
+					"export": name,
+					"depth":  fmt.Sprintf("%d", depth),
+				})
+			}
+		}
 		fmt.Printf("nbdserve: export %q (%d bytes, chain depth %d, ro=%v)\n",
 			name, c.Size(), len(c.Images), *ro)
 	}

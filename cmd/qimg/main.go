@@ -4,7 +4,7 @@
 // Usage:
 //
 //	qimg create [-C dir] [-size N] [-cluster-bits B] [-backing NAME] [-quota N] NAME
-//	qimg info   [-C dir] NAME
+//	qimg info   [-C dir] [-metrics] NAME
 //	qimg check  [-C dir] NAME
 //	qimg map    [-C dir] NAME
 //	qimg warm   [-C dir] [-spans off:len,off:len,...] NAME
@@ -28,6 +28,7 @@ import (
 
 	"vmicache/internal/backend"
 	"vmicache/internal/core"
+	"vmicache/internal/metrics"
 	"vmicache/internal/qcow"
 )
 
@@ -176,6 +177,7 @@ func openOne(dir, name string) (*qcow.Image, error) {
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	dir := fs.String("C", ".", "working directory")
+	showMetrics := fs.Bool("metrics", false, "also print the image's registry snapshot (Prometheus text)")
 	fs.Parse(args) //nolint:errcheck
 	name, err := oneName(fs)
 	if err != nil {
@@ -191,6 +193,14 @@ func cmdInfo(args []string) error {
 		return err
 	}
 	fmt.Printf("image: %s\n%s", name, info)
+	if *showMetrics {
+		reg := metrics.NewRegistry()
+		img.RegisterMetrics(reg, metrics.Labels{"image": name})
+		fmt.Println()
+		if _, err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rblockd [-addr HOST:PORT] [-dir DIR] [-rwsize N] [-ro] [-drain DUR]
+//	        [-metrics-addr HOST:PORT]
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting new
 // connections, drains in-flight requests up to -drain, prints its traffic
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"vmicache/internal/backend"
+	"vmicache/internal/metrics"
 	"vmicache/internal/rblock"
 )
 
@@ -30,6 +32,7 @@ func main() {
 	rwsize := fs.Int("rwsize", rblock.DefaultRWSize, "maximum transfer segment (the paper tunes NFS to 64 KiB)")
 	ro := fs.Bool("ro", false, "export read-only")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 
 	store, err := backend.NewDirStore(*dir)
@@ -44,6 +47,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	})
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		srv.RegisterMetrics(reg, nil)
+		msrv, err := metrics.ListenAndServe(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rblockd: -metrics-addr %s: %v\n", *metricsAddr, err)
+			os.Exit(1)
+		}
+		defer msrv.Close() //nolint:errcheck // terminating anyway
+		fmt.Printf("rblockd: metrics on http://%s/metrics\n", msrv.Addr())
+	}
 	bound, err := srv.ListenAndLog(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rblockd: %v\n", err)

@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	tracestat [-replay [-j N] [-cluster-bits B] [-quota BYTES]] FILE [FILE...]
+//	tracestat [-replay [-j N] [-cluster-bits B] [-quota BYTES] [-metrics]]
+//	          FILE [FILE...]
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	jobs := fs.Int("j", 1, "concurrent replay goroutines")
 	clusterBits := fs.Int("cluster-bits", 9, "cache image cluster size (bits) for -replay")
 	quota := fs.Int64("quota", 0, "cache quota in bytes for -replay (0 = image size)")
+	showMetrics := fs.Bool("metrics", false, "with -replay, print the chain's registry snapshot (Prometheus text)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: tracestat [-replay] FILE [FILE...]")
@@ -44,7 +46,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *replay {
-			if err := replayOne(path, *jobs, *clusterBits, *quota); err != nil {
+			if err := replayOne(path, *jobs, *clusterBits, *quota, *showMetrics); err != nil {
 				fmt.Fprintf(os.Stderr, "tracestat -replay %s: %v\n", path, err)
 				os.Exit(1)
 			}
@@ -107,7 +109,7 @@ func statOne(path string) error {
 
 // replayOne executes the trace against a synthetic base <- cache <- CoW
 // chain with `jobs` goroutines and prints the resulting data-path counters.
-func replayOne(path string, jobs, clusterBits int, quota int64) error {
+func replayOne(path string, jobs, clusterBits int, quota int64, showMetrics bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -208,6 +210,14 @@ func replayOne(path string, jobs, clusterBits int, quota int64) error {
 	fmt.Printf("  l2 cache:       cache hits=%d misses=%d, cow hits=%d misses=%d\n",
 		cs.L2CacheHits.Load(), cs.L2CacheMisses.Load(),
 		ws.L2CacheHits.Load(), ws.L2CacheMisses.Load())
+	if showMetrics {
+		reg := metrics.NewRegistry()
+		cache.RegisterMetrics(reg, metrics.Labels{"image": "cache"})
+		cow.RegisterMetrics(reg, metrics.Labels{"image": "cow"})
+		if _, err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 	fmt.Println()
 	if err := cow.Close(); err != nil {
 		return err

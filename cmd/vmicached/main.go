@@ -20,6 +20,7 @@
 //	-warm A,B,...    base image names to warm at startup
 //	-status DUR      periodic status print interval (0 = only on shutdown)
 //	-drain DUR       graceful-shutdown drain deadline
+//	-metrics-addr A  serve /metrics, /metrics.json and /debug/pprof on A
 //
 // A two-node warm handoff: start node A against the storage node and let it
 // warm, then start node B with -peers pointing at A — B pulls the published
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"vmicache/internal/cachemgr"
+	"vmicache/internal/metrics"
 	"vmicache/internal/rblock"
 )
 
@@ -53,6 +55,7 @@ func main() {
 	warm := fs.String("warm", "", "comma-separated base image names to warm at startup")
 	status := fs.Duration("status", 0, "periodic status interval (0 = only on shutdown)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 
 	fail := func(format string, args ...any) {
@@ -71,9 +74,23 @@ func main() {
 		fail("-quota: %v", err)
 	}
 
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		msrv, err := metrics.ListenAndServe(*metricsAddr, reg)
+		if err != nil {
+			fail("-metrics-addr %s: %v", *metricsAddr, err)
+		}
+		defer msrv.Close() //nolint:errcheck // terminating anyway
+		fmt.Printf("vmicached: metrics on http://%s/metrics\n", msrv.Addr())
+	}
+
 	client, err := rblock.Dial(*storage, 0)
 	if err != nil {
 		fail("dialing storage node %s: %v", *storage, err)
+	}
+	if reg != nil {
+		client.RegisterMetrics(reg, metrics.Labels{"peer": "storage"})
 	}
 	mgr, err := cachemgr.New(cachemgr.Config{
 		Dir:         *dir,
@@ -82,6 +99,7 @@ func main() {
 		ClusterBits: *clusterBits,
 		Backing:     rblock.RemoteStore{C: client},
 		Peers:       splitList(*peers),
+		Metrics:     reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -36,6 +36,7 @@ import (
 
 	"vmicache/internal/backend"
 	"vmicache/internal/core"
+	"vmicache/internal/metrics"
 	"vmicache/internal/qcow"
 	"vmicache/internal/rblock"
 )
@@ -108,6 +109,10 @@ type Config struct {
 	// copy-on-read warming — the failure-injection hook the crash tests
 	// use (backend.FaultyFile) to kill a warm mid-fill.
 	WrapWarmFile func(f backend.File) backend.File
+
+	// Metrics, when non-nil, receives the manager's instruments (and the
+	// peer exporter's, once ServePeers runs) under vmicache_cachemgr_*.
+	Metrics *metrics.Registry
 }
 
 // counters is the live form behind Stats snapshots.
@@ -123,6 +128,10 @@ type counters struct {
 	published      atomic.Int64
 	discardedTemps atomic.Int64
 	droppedCorrupt atomic.Int64
+
+	// warmDuration records end-to-end successful warm durations (ns),
+	// whichever path (peer transfer or copy-on-read) satisfied them.
+	warmDuration metrics.AtomicHistogram
 }
 
 // Stats is a point-in-time snapshot of the manager's activity.
@@ -235,7 +244,62 @@ func New(cfg Config) (*Manager, error) {
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		m.registerMetrics(cfg.Metrics)
+	}
 	return m, nil
+}
+
+// registerMetrics exposes the manager's counters, the pool's state, and the
+// warm-duration histogram. All instruments sample live atomics (or take the
+// pool mutex briefly) at scrape time; the admission and data paths are
+// untouched.
+func (m *Manager) registerMetrics(r *metrics.Registry) {
+	s := &m.stats
+	var l metrics.Labels
+	r.CounterFunc("vmicache_cachemgr_cold_warms_total",
+		"Caches warmed through the copy-on-read path.", l, s.coldWarms.Load)
+	r.CounterFunc("vmicache_cachemgr_warm_failures_total",
+		"Warms that failed (peer and copy-on-read both).", l, s.warmFailures.Load)
+	r.CounterFunc("vmicache_cachemgr_peer_attempts_total",
+		"Peer transfers tried.", l, s.peerAttempts.Load)
+	r.CounterFunc("vmicache_cachemgr_peer_fetches_total",
+		"Caches pulled wholesale from a peer.", l, s.peerFetches.Load)
+	r.CounterFunc("vmicache_cachemgr_peer_fetch_bytes_total",
+		"Bytes transferred from peers.", l, s.peerFetchBytes.Load)
+	r.CounterFunc("vmicache_cachemgr_peer_fallbacks_total",
+		"Cold misses where every peer failed.", l, s.peerFallbacks.Load)
+	r.CounterFunc("vmicache_cachemgr_attaches_total",
+		"Sessions attached to a published cache.", l, s.attaches.Load)
+	r.CounterFunc("vmicache_cachemgr_shared_waits_total",
+		"Sessions that waited on an in-flight warm (singleflight followers).", l, s.sharedWaits.Load)
+	r.CounterFunc("vmicache_cachemgr_published_total",
+		"Successful cache publications this run.", l, s.published.Load)
+	r.CounterFunc("vmicache_cachemgr_discarded_temps_total",
+		"Crashed warms discarded at startup.", l, s.discardedTemps.Load)
+	r.CounterFunc("vmicache_cachemgr_dropped_corrupt_total",
+		"Published files failing verification at startup.", l, s.droppedCorrupt.Load)
+	r.CounterFunc("vmicache_cachemgr_pool_hits_total",
+		"Cache-pool lookups that found a resident cache.", l,
+		func() int64 { h, _, _ := m.pool.Stats(); return h })
+	r.CounterFunc("vmicache_cachemgr_pool_misses_total",
+		"Cache-pool lookups that missed.", l,
+		func() int64 { _, mi, _ := m.pool.Stats(); return mi })
+	r.CounterFunc("vmicache_cachemgr_evictions_total",
+		"Caches evicted by the LRU budget.", l,
+		func() int64 { _, _, e := m.pool.Stats(); return e })
+	r.GaugeFunc("vmicache_cachemgr_used_bytes",
+		"Bytes of published caches currently on disk.", l, m.pool.Used)
+	r.GaugeFunc("vmicache_cachemgr_budget_bytes",
+		"Configured cache budget.", l, m.pool.Capacity)
+	r.GaugeFunc("vmicache_cachemgr_resident_caches",
+		"Published caches currently resident.", l,
+		func() int64 { return int64(m.pool.Len()) })
+	r.GaugeFunc("vmicache_cachemgr_pinned_caches",
+		"Resident caches pinned by at least one lease.", l,
+		func() int64 { return int64(m.pool.Pinned()) })
+	r.RegisterHistogram("vmicache_cachemgr_warm_duration_ns",
+		"End-to-end duration of successful warms (peer or copy-on-read).", l, &s.warmDuration)
 }
 
 func (m *Manager) logf(format string, args ...any) { m.cfg.Logf(format, args...) }
@@ -380,7 +444,11 @@ func (m *Manager) Acquire(base string) (*Lease, error) {
 		m.warming[key] = ws
 		m.mu.Unlock()
 
+		warmStart := time.Now()
 		ws.err = m.warm(base, key)
+		if ws.err == nil {
+			m.stats.warmDuration.Observe(time.Since(warmStart).Nanoseconds())
+		}
 		m.mu.Lock()
 		delete(m.warming, key)
 		m.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vmicache/internal/backend"
+	"vmicache/internal/metrics"
 	"vmicache/internal/rblock"
 )
 
@@ -58,6 +59,9 @@ func (m *Manager) ServePeers(addr string) (string, error) {
 		ReadOnly: true,
 		Logf:     m.cfg.Logf,
 	})
+	if m.cfg.Metrics != nil {
+		srv.RegisterMetrics(m.cfg.Metrics, metrics.Labels{"server": "peer-export"})
+	}
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return "", err

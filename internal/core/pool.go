@@ -56,6 +56,19 @@ func (p *Pool) Len() int {
 	return len(p.entries)
 }
 
+// Pinned reports the number of entries currently pinned (pins > 0).
+func (p *Pool) Pinned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.entries {
+		if e.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Stats reports (hits, misses, evictions).
 func (p *Pool) Stats() (hits, misses, evictions int64) {
 	p.mu.Lock()

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The two exposition formats every daemon serves: the Prometheus text format
+// (for scrapers and `curl`) and a JSON snapshot (for scripts and the
+// round-trip tests). Both render the same Gather output, sorted by
+// (name, labels) so output is deterministic and golden-testable.
+
+// BucketCount is one non-empty logarithmic bucket: Count values fell in
+// [2^Exp, 2^(Exp+1)).
+type BucketCount struct {
+	Exp   int   `json:"exp"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of an AtomicHistogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// MetricSnapshot is one gathered instrument value.
+type MetricSnapshot struct {
+	Name   string             `json:"name"`
+	Labels Labels             `json:"labels,omitempty"`
+	Kind   string             `json:"kind"`
+	Value  int64              `json:"value,omitempty"`
+	Hist   *HistogramSnapshot `json:"histogram,omitempty"`
+
+	help string
+}
+
+// RegistrySnapshot is the JSON document /metrics.json serves.
+type RegistrySnapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Gather samples every registered instrument, sorted by (name, labels).
+func (r *Registry) Gather() []MetricSnapshot {
+	r.mu.Lock()
+	ins := make([]*instrument, len(r.ins))
+	copy(ins, r.ins)
+	r.mu.Unlock()
+
+	sort.Slice(ins, func(i, j int) bool {
+		if ins[i].name != ins[j].name {
+			return ins[i].name < ins[j].name
+		}
+		return ins[i].lkey < ins[j].lkey
+	})
+	out := make([]MetricSnapshot, 0, len(ins))
+	for _, in := range ins {
+		m := MetricSnapshot{Name: in.name, Labels: in.labels, Kind: in.kind.String(), help: in.help}
+		if in.hist != nil {
+			s := in.hist.Snapshot()
+			m.Hist = &s
+		} else {
+			m.Value = in.read()
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// promLabels renders a label set as {k="v",...} ("" when empty).
+func promLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	return "{" + l.key() + "}"
+}
+
+// promLabelsExtra renders labels plus one extra pair (the histogram "le").
+func promLabelsExtra(l Labels, k, v string) string {
+	inner := l.key()
+	if inner != "" {
+		inner += ","
+	}
+	return "{" + inner + fmt.Sprintf("%s=%q", k, v) + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Histograms emit cumulative _bucket series with
+// power-of-two le bounds, plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) (int64, error) {
+	var b strings.Builder
+	lastHeader := ""
+	for _, m := range r.Gather() {
+		if m.Name != lastHeader {
+			lastHeader = m.Name
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Kind)
+		}
+		if m.Hist == nil {
+			fmt.Fprintf(&b, "%s%s %d\n", m.Name, promLabels(m.Labels), m.Value)
+			continue
+		}
+		var cum int64
+		for _, bk := range m.Hist.Buckets {
+			cum += bk.Count
+			le := math.Pow(2, float64(bk.Exp+1))
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.Name, promLabelsExtra(m.Labels, "le", fmt.Sprintf("%g", le)), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", m.Name, promLabelsExtra(m.Labels, "le", "+Inf"), m.Hist.Count)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", m.Name, promLabels(m.Labels), m.Hist.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", m.Name, promLabels(m.Labels), m.Hist.Count)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteJSON renders the registry as an indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(RegistrySnapshot{Metrics: r.Gather()})
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability mux a daemon mounts on its
+// -metrics-addr: the two exposition formats plus the standard pprof
+// endpoints (heap, goroutine, CPU profile, execution trace), so a live
+// vmicached or rblockd can be profiled without redeploying.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client went away; nothing to do
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w) //nolint:errcheck // client went away; nothing to do
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ListenAndServe binds addr and serves Handler(r) in the background;
+// ":0"-style addresses pick an ephemeral port. Close the returned server to
+// stop it.
+func ListenAndServe(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler: Handler(r),
+		// Scrapes are small; generous-but-bounded timeouts keep a stuck
+		// client from pinning a connection forever. No WriteTimeout: CPU
+		// profiles legitimately stream for tens of seconds.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Addr reports the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

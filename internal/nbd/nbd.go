@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vmicache/internal/metrics"
 )
 
 // Protocol magics and constants (https://github.com/NetworkBlockDevice/nbd
@@ -87,9 +89,32 @@ type Server struct {
 	activeReqs atomic.Int64
 
 	// Stats
-	ReadOps  atomic.Int64
-	WriteOps atomic.Int64
-	FlushOps atomic.Int64
+	ReadOps      atomic.Int64
+	WriteOps     atomic.Int64
+	FlushOps     atomic.Int64
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+
+	// latency records per-request dispatch-to-reply durations (ns).
+	latency metrics.AtomicHistogram
+}
+
+// RegisterMetrics exposes the server's counters on a registry.
+func (s *Server) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
+	r.CounterFunc("vmicache_nbd_read_ops_total",
+		"NBD read commands handled.", labels, s.ReadOps.Load)
+	r.CounterFunc("vmicache_nbd_write_ops_total",
+		"NBD write commands handled.", labels, s.WriteOps.Load)
+	r.CounterFunc("vmicache_nbd_flush_ops_total",
+		"NBD flush commands handled.", labels, s.FlushOps.Load)
+	r.CounterFunc("vmicache_nbd_bytes_read_total",
+		"Bytes served to NBD clients by read commands.", labels, s.BytesRead.Load)
+	r.CounterFunc("vmicache_nbd_bytes_written_total",
+		"Bytes applied from NBD clients by write commands.", labels, s.BytesWritten.Load)
+	r.GaugeFunc("vmicache_nbd_active_requests",
+		"Device requests currently dispatched.", labels, s.activeReqs.Load)
+	r.RegisterHistogram("vmicache_nbd_request_ns",
+		"NBD request duration, dispatch through reply.", labels, &s.latency)
 }
 
 // maxConcurrentPerConn bounds how many in-flight requests one connection may
@@ -374,7 +399,13 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 		wg.Add(1)
 		s.activeReqs.Add(1)
 		go func() {
-			defer func() { s.activeReqs.Add(-1); <-sem; wg.Done() }()
+			start := time.Now()
+			defer func() {
+				s.latency.Observe(time.Since(start).Nanoseconds())
+				s.activeReqs.Add(-1)
+				<-sem
+				wg.Done()
+			}()
 			fn()
 		}()
 	}
@@ -409,6 +440,7 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 				if nbdErr != 0 {
 					buf = nil
 				}
+				s.BytesRead.Add(int64(len(buf)))
 				reply(handle, nbdErr, buf)
 			})
 
@@ -427,6 +459,8 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 				default:
 					if _, err := exp.Device.WriteAt(buf, int64(offset)); err != nil {
 						nbdErr = nbdEIO
+					} else {
+						s.BytesWritten.Add(int64(len(buf)))
 					}
 				}
 				s.WriteOps.Add(1)

@@ -1,0 +1,145 @@
+package qcow_test
+
+// Data-path microbenchmarks for the CI regression gate. They mirror the
+// root-package chain benchmarks but register every image on a live metrics
+// registry first, pinning the zero-alloc warm-read guarantee WITH
+// instrumentation enabled — the property the observability layer must not
+// break.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/metrics"
+	"vmicache/internal/qcow"
+)
+
+// benchSource is a cheap deterministic backing pattern.
+type benchSource struct{ n int64 }
+
+func (s benchSource) ReadAt(p []byte, off int64) (int, error) {
+	for i := range p {
+		p[i] = byte((off + int64(i)) * 1099511628211)
+	}
+	return len(p), nil
+}
+
+func (s benchSource) Size() int64 { return s.n }
+
+// newChain builds base <- cache <- CoW in memory and registers both images on
+// a fresh registry, so the timed path runs with instruments attached.
+func newChain(b *testing.B) *qcow.Image {
+	b.Helper()
+	const size = 64 << 20
+	cache, err := qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
+		Size: size, ClusterBits: 9, BackingFile: "b", CacheQuota: size,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache.SetBacking(benchSource{n: size})
+	cow, err := qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
+		Size: size, ClusterBits: 16, BackingFile: "c",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cow.SetBacking(cache)
+	reg := metrics.NewRegistry()
+	cache.RegisterMetrics(reg, metrics.Labels{"image": "cache"})
+	cow.RegisterMetrics(reg, metrics.Labels{"image": "cow"})
+	return cow
+}
+
+// BenchmarkWarmRead measures single-reader warm-cache hits; the hot path must
+// stay allocation-free with metrics registered.
+func BenchmarkWarmRead(b *testing.B) {
+	cow := newChain(b)
+	buf := make([]byte, 24<<10)
+	for off := int64(0); off < 8<<20; off += int64(len(buf)) {
+		if _, err := cow.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * int64(len(buf))) % (7 << 20)
+		if _, err := cow.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelWarmRead measures aggregate warm-read throughput with
+// instrumentation enabled; allocs/op must report 0.
+func BenchmarkParallelWarmRead(b *testing.B) {
+	const span = 24 << 10
+	for _, g := range []int{1, 4, 8} {
+		g := g
+		b.Run(fmt.Sprintf("goroutines-%d", g), func(b *testing.B) {
+			cow := newChain(b)
+			warm := make([]byte, span)
+			for off := int64(0); off < 8<<20; off += span {
+				if _, err := cow.ReadAt(warm, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bufs := make([][]byte, g)
+			for w := range bufs {
+				bufs[w] = make([]byte, span)
+			}
+			b.SetBytes(span)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				buf := bufs[w]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						off := (i * span) % (7 << 20)
+						if _, err := cow.ReadAt(buf, off); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkColdFill measures copy-on-read fills (leader path, including the
+// fill-latency histogram observation).
+func BenchmarkColdFill(b *testing.B) {
+	buf := make([]byte, 24<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	var cow *qcow.Image
+	pos := int64(60 << 20) // force chain creation on the first iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pos+int64(len(buf)) > 60<<20 {
+			b.StopTimer()
+			cow = newChain(b)
+			pos = 0
+			b.StartTimer()
+		}
+		if _, err := cow.ReadAt(buf, pos); err != nil {
+			b.Fatal(err)
+		}
+		pos += int64(len(buf))
+	}
+}

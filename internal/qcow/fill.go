@@ -2,6 +2,7 @@ package qcow
 
 import (
 	"sync/atomic"
+	"time"
 
 	"vmicache/internal/backend"
 )
@@ -107,6 +108,7 @@ func (img *Image) quotaFit(vc, k int64) int64 {
 // as the serial implementation did. On return f.done is closed and waiters
 // are served from f.buf.
 func (img *Image) leadFill(f *fill, backing BlockSource) {
+	start := time.Now()
 	defer func() {
 		img.unclaim(f)
 		close(f.done)
@@ -203,6 +205,7 @@ func (img *Image) leadFill(f *fill, backing BlockSource) {
 	img.stats.CacheFillOps.Add(final)
 	img.stats.CacheFillBytes.Add(minI64(fetchLen, final*cs))
 	img.mu.Unlock()
+	img.stats.FillLatency.Observe(time.Since(start).Nanoseconds())
 
 	f.fetched = fit
 	f.buf = buf
@@ -222,6 +225,7 @@ func (img *Image) fillRun(vc, run, pos int64, span []byte, backing BlockSource) 
 	if leader {
 		img.leadFill(f, backing)
 	} else {
+		img.stats.FillWaits.Add(1)
 		<-f.done
 	}
 	if f.err != nil {

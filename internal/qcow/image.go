@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"vmicache/internal/backend"
+	"vmicache/internal/metrics"
 )
 
 // Stats counts data-path activity on one image. BackingBytes is the quantity
@@ -46,6 +47,15 @@ type Stats struct {
 	// WriteCompressedCluster and their deflate volume.
 	CompressedClusters atomic.Int64
 	CompressedBytes    atomic.Int64
+
+	// FillWaits counts readers that attached to another reader's in-flight
+	// copy-on-read fill instead of fetching themselves (singleflight
+	// followers).
+	FillWaits atomic.Int64
+
+	// FillLatency records the duration (ns) of each successful leader
+	// fill: the backing fetch plus allocation and binding.
+	FillLatency metrics.AtomicHistogram
 }
 
 // CreateOpts parameterises image creation, mirroring qemu-img's knobs plus

@@ -1,0 +1,74 @@
+package rblock
+
+import (
+	"testing"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/metrics"
+)
+
+// newBenchPair starts a loopback server exporting one image and returns an
+// open remote file, with both ends registered on live metrics registries so
+// the measured path includes instrumentation.
+func newBenchPair(b *testing.B, size int64) *RemoteFile {
+	b.Helper()
+	store := backend.NewMemStore()
+	f, err := store.Create("img")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Truncate(size); err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(store, ServerOpts{})
+	srv.RegisterMetrics(metrics.NewRegistry(), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() }) //nolint:errcheck // benchmark teardown
+	c, err := Dial(addr, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RegisterMetrics(metrics.NewRegistry(), nil)
+	b.Cleanup(func() { c.Close() }) //nolint:errcheck // benchmark teardown
+	rf, err := c.Open("img", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rf
+}
+
+// BenchmarkRoundTrip measures single-segment request latency over loopback.
+func BenchmarkRoundTrip(b *testing.B) {
+	const span = 64 << 10
+	rf := newBenchPair(b, 64<<20)
+	buf := make([]byte, span)
+	b.SetBytes(span)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * span) % (32 << 20)
+		if _, err := rf.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedRead measures a large multi-segment read whose segments
+// are pipelined on the shared connection.
+func BenchmarkPipelinedRead(b *testing.B) {
+	const span = 4 << 20 // 64 segments at the default rwsize
+	rf := newBenchPair(b, 64<<20)
+	buf := make([]byte, span)
+	b.SetBytes(span)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * span) % (32 << 20)
+		if _, err := rf.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmicache/internal/backend"
+	"vmicache/internal/metrics"
 )
 
 // DefaultTimeout bounds how long a request may go unanswered before the
@@ -41,6 +43,58 @@ type Client struct {
 	broken  error // first fatal error; non-nil once the stream is unusable
 
 	timeout time.Duration
+
+	ctr clientCounters
+}
+
+// clientCounters are the client's live instruments: plain atomics updated on
+// the request path, sampled by Stats and RegisterMetrics.
+type clientCounters struct {
+	requests atomic.Int64 // round trips issued
+	bytesOut atomic.Int64 // request payload bytes (writes)
+	bytesIn  atomic.Int64 // response payload bytes (reads)
+	broken   atomic.Int64 // fatal transport failures (excludes local Close)
+	inflight atomic.Int64 // requests currently awaiting a response
+	rtt      metrics.AtomicHistogram
+}
+
+// ClientStats is a point-in-time snapshot of a client's counters.
+type ClientStats struct {
+	Requests int64
+	BytesOut int64
+	BytesIn  int64
+	Broken   int64
+	Inflight int64
+	RTT      metrics.HistogramSnapshot
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests: c.ctr.requests.Load(),
+		BytesOut: c.ctr.bytesOut.Load(),
+		BytesIn:  c.ctr.bytesIn.Load(),
+		Broken:   c.ctr.broken.Load(),
+		Inflight: c.ctr.inflight.Load(),
+		RTT:      c.ctr.rtt.Snapshot(),
+	}
+}
+
+// RegisterMetrics exposes the client's counters on a registry. Sampling
+// happens at scrape time; the request path keeps its atomics-only profile.
+func (c *Client) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
+	r.CounterFunc("vmicache_rblock_client_requests_total",
+		"Round trips issued on the connection.", labels, c.ctr.requests.Load)
+	r.CounterFunc("vmicache_rblock_client_bytes_sent_total",
+		"Request payload bytes written to the connection.", labels, c.ctr.bytesOut.Load)
+	r.CounterFunc("vmicache_rblock_client_bytes_received_total",
+		"Response payload bytes read from the connection.", labels, c.ctr.bytesIn.Load)
+	r.CounterFunc("vmicache_rblock_client_broken_total",
+		"Fatal transport failures that marked the client broken.", labels, c.ctr.broken.Load)
+	r.GaugeFunc("vmicache_rblock_client_inflight",
+		"Requests currently pipelined and awaiting a response.", labels, c.ctr.inflight.Load)
+	r.RegisterHistogram("vmicache_rblock_client_rtt_ns",
+		"Request round-trip time, send through matched response.", labels, &c.ctr.rtt)
 }
 
 // Dial connects to a server. rwsize caps per-request transfers (0 uses the
@@ -92,6 +146,9 @@ func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.broken == nil {
 		c.broken = err
+		if err != ErrClosed {
+			c.ctr.broken.Add(1)
+		}
 	}
 	waiters := c.pending
 	c.pending = make(map[uint32]chan *frame)
@@ -156,6 +213,11 @@ func (c *Client) roundTrip(req *frame) (*frame, error) {
 		c.mu.Unlock()
 		return nil, c.brokenErr()
 	}
+	start := time.Now()
+	c.ctr.requests.Add(1)
+	c.ctr.bytesOut.Add(int64(len(req.payload)))
+	c.ctr.inflight.Add(1)
+	defer c.ctr.inflight.Add(-1)
 	c.nextID++
 	req.id = c.nextID
 	c.pending[req.id] = ch
@@ -192,6 +254,8 @@ func (c *Client) roundTrip(req *frame) (*frame, error) {
 	if err := statusErr(resp.status); err != nil {
 		return nil, err
 	}
+	c.ctr.bytesIn.Add(int64(len(resp.payload)))
+	c.ctr.rtt.Observe(time.Since(start).Nanoseconds())
 	return resp, nil
 }
 

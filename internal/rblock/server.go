@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vmicache/internal/backend"
+	"vmicache/internal/metrics"
 )
 
 // ServerStats is a point-in-time snapshot of a server's traffic counters —
@@ -68,9 +69,15 @@ type serverCounters struct {
 	conns        atomic.Int64
 	activeConns  atomic.Int64
 	activeReqs   atomic.Int64 // requests currently dispatched (drained by Shutdown)
+	latency      metrics.AtomicHistogram
 
 	mu       sync.Mutex
 	perImage map[string]*imageCounters
+	// reg/regLabels, when set by RegisterMetrics, make image() register the
+	// per-image counters of exports opened later — dynamic label sets appear
+	// on the next scrape.
+	reg       *metrics.Registry
+	regLabels metrics.Labels
 }
 
 type imageCounters struct {
@@ -86,8 +93,22 @@ func (c *serverCounters) image(name string) *imageCounters {
 	if !ok {
 		ic = &imageCounters{}
 		c.perImage[name] = ic
+		if c.reg != nil {
+			c.registerImage(name, ic)
+		}
 	}
 	return ic
+}
+
+// registerImage exposes one export's counters; caller holds c.mu.
+func (c *serverCounters) registerImage(name string, ic *imageCounters) {
+	l := c.regLabels.With("image", name)
+	c.reg.CounterFunc("vmicache_rblock_server_image_opens_total",
+		"Opens of the export.", l, ic.opens.Load)
+	c.reg.CounterFunc("vmicache_rblock_server_image_read_ops_total",
+		"Read requests against the export.", l, ic.readOps.Load)
+	c.reg.CounterFunc("vmicache_rblock_server_image_bytes_read_total",
+		"Payload bytes served from the export.", l, ic.bytesRead.Load)
 }
 
 // Server exports a Store over TCP.
@@ -161,6 +182,37 @@ func (s *Server) Stats() ServerStats {
 	}
 	c.mu.Unlock()
 	return snap
+}
+
+// RegisterMetrics exposes the server's counters on a registry. Per-image
+// counters for exports already opened register immediately; exports opened
+// later register as their first request arrives.
+func (s *Server) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
+	c := &s.stats
+	r.CounterFunc("vmicache_rblock_server_bytes_read_total",
+		"Payload bytes served to clients.", labels, c.bytesRead.Load)
+	r.CounterFunc("vmicache_rblock_server_bytes_written_total",
+		"Payload bytes received from clients.", labels, c.bytesWritten.Load)
+	r.CounterFunc("vmicache_rblock_server_read_ops_total",
+		"Read requests handled.", labels, c.readOps.Load)
+	r.CounterFunc("vmicache_rblock_server_write_ops_total",
+		"Write requests handled.", labels, c.writeOps.Load)
+	r.CounterFunc("vmicache_rblock_server_opens_total",
+		"Export opens handled.", labels, c.opens.Load)
+	r.CounterFunc("vmicache_rblock_server_conns_total",
+		"Connections accepted over the server's lifetime.", labels, c.conns.Load)
+	r.GaugeFunc("vmicache_rblock_server_active_conns",
+		"Connections currently open.", labels, c.activeConns.Load)
+	r.GaugeFunc("vmicache_rblock_server_active_requests",
+		"Requests currently dispatched.", labels, c.activeReqs.Load)
+	r.RegisterHistogram("vmicache_rblock_server_request_ns",
+		"Server-side request handling duration.", labels, &c.latency)
+	c.mu.Lock()
+	c.reg, c.regLabels = r, labels
+	for name, ic := range c.perImage {
+		c.registerImage(name, ic)
+	}
+	c.mu.Unlock()
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port) and
@@ -318,7 +370,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.stats.activeReqs.Add(1)
 		go func(req *frame) {
 			defer func() { s.stats.activeReqs.Add(-1); <-sem; wg.Done() }()
+			start := time.Now()
 			resp := s.handle(req, cs)
+			s.stats.latency.Observe(time.Since(start).Nanoseconds())
 			resp.id = req.id
 			wmu.Lock()
 			err := writeFrame(bw, resp)
