@@ -7,7 +7,7 @@
 //	qimg info   [-C dir] [-metrics] NAME
 //	qimg check  [-C dir] NAME
 //	qimg map    [-C dir] NAME
-//	qimg warm   [-C dir] [-spans off:len,off:len,...] NAME
+//	qimg warm   [-C dir] [-spans off:len,...] [-profile NAME] [-j N] [-budget N] NAME
 //	qimg read   [-C dir] -off N -len N NAME        (hex dump to stdout)
 //	qimg write  [-C dir] -off N -data STRING NAME
 //	qimg commit [-C dir] NAME                      (merge into backing)
@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"vmicache/internal/backend"
+	"vmicache/internal/boot"
 	"vmicache/internal/core"
 	"vmicache/internal/metrics"
 	"vmicache/internal/qcow"
@@ -281,10 +282,59 @@ func parseSpans(s string) ([]core.Span, error) {
 	return out, nil
 }
 
+// parseSize parses "1073741824", "1G", "512M", "64K".
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+// profileWarmSpans turns a named boot profile, scaled to the chain's virtual
+// size, into a coalesced warm plan clamped to the image.
+func profileWarmSpans(name string, size int64) ([]core.Span, error) {
+	p, err := boot.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.ImageSize > 0 && p.ImageSize != size {
+		p = p.Scale(float64(size) / float64(p.ImageSize))
+		p.ImageSize = size
+	}
+	plan := boot.Generate(p).PrefetchPlan(256<<10, 4<<20)
+	spans := make([]core.Span, 0, len(plan))
+	for _, e := range plan {
+		if e.Off >= size {
+			continue
+		}
+		if e.Off+e.Len > size {
+			e.Len = size - e.Off
+		}
+		spans = append(spans, core.Span{Off: e.Off, Len: e.Len})
+	}
+	return spans, nil
+}
+
 func cmdWarm(args []string) error {
 	fs := flag.NewFlagSet("warm", flag.ExitOnError)
 	dir := fs.String("C", ".", "working directory")
 	spansArg := fs.String("spans", "", "comma-separated off:len spans to read (default: 0:1MiB)")
+	profile := fs.String("profile", "", "derive the warm plan from a boot profile (centos/debian/windows)")
+	jobs := fs.Int("j", 1, "parallel warm workers (1 = serial)")
+	budgetArg := fs.String("budget", "16M", "in-flight byte budget for parallel warm (K/M/G suffixes)")
 	fs.Parse(args) //nolint:errcheck
 	name, err := oneName(fs)
 	if err != nil {
@@ -294,19 +344,34 @@ func cmdWarm(args []string) error {
 	if err != nil {
 		return err
 	}
+	budget, err := parseSize(*budgetArg)
+	if err != nil {
+		return fmt.Errorf("-budget: %w", err)
+	}
 	spans, err := parseSpans(*spansArg)
 	if err != nil {
 		return err
-	}
-	if len(spans) == 0 {
-		spans = []core.Span{{Off: 0, Len: 1 << 20}}
 	}
 	c, err := core.OpenChain(ns, core.Locator{Store: "dir", Name: name}, core.ChainOpts{})
 	if err != nil {
 		return err
 	}
 	defer c.Close() //nolint:errcheck
-	n, err := core.Warm(c, spans)
+	if len(spans) == 0 && *profile != "" {
+		spans, err = profileWarmSpans(*profile, c.Size())
+		if err != nil {
+			return err
+		}
+	}
+	if len(spans) == 0 {
+		spans = []core.Span{{Off: 0, Len: 1 << 20}}
+	}
+	var n int64
+	if *jobs > 1 {
+		n, err = core.WarmParallel(c, spans, *jobs, budget)
+	} else {
+		n, err = core.Warm(c, spans)
+	}
 	if err != nil {
 		return err
 	}

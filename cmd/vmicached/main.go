@@ -18,6 +18,9 @@
 //	-quota SIZE      per-cache fill quota (0 = whole base + metadata)
 //	-cluster-bits N  cache cluster size exponent (0 = default)
 //	-warm A,B,...    base image names to warm at startup
+//	-warm-profile P  boot profile guiding cold warms (centos/debian/windows)
+//	-warm-jobs N     parallel workers per cold warm (1 = serial)
+//	-warm-budget SZ  in-flight byte budget per parallel warm (default 16M)
 //	-status DUR      periodic status print interval (0 = only on shutdown)
 //	-drain DUR       graceful-shutdown drain deadline
 //	-metrics-addr A  serve /metrics, /metrics.json and /debug/pprof on A
@@ -53,6 +56,9 @@ func main() {
 	quota := fs.String("quota", "0", "per-cache fill quota (bytes; K/M/G suffixes)")
 	clusterBits := fs.Int("cluster-bits", 0, "cache cluster size exponent (0 = default)")
 	warm := fs.String("warm", "", "comma-separated base image names to warm at startup")
+	warmProfile := fs.String("warm-profile", "", "boot profile guiding cold warms (centos/debian/windows; empty = whole image)")
+	warmJobs := fs.Int("warm-jobs", 1, "parallel workers per cold warm (1 = serial)")
+	warmBudget := fs.String("warm-budget", "16M", "in-flight byte budget per parallel warm (K/M/G suffixes)")
 	status := fs.Duration("status", 0, "periodic status interval (0 = only on shutdown)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
@@ -73,6 +79,10 @@ func main() {
 	if err != nil {
 		fail("-quota: %v", err)
 	}
+	warmBudgetBytes, err := parseSize(*warmBudget)
+	if err != nil {
+		fail("-warm-budget: %v", err)
+	}
 
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
@@ -92,11 +102,24 @@ func main() {
 	if reg != nil {
 		client.RegisterMetrics(reg, metrics.Labels{"peer": "storage"})
 	}
+	if *warmJobs > 1 {
+		// Parallel warm workers share this one connection; widen the
+		// pipelining window so they are not serialised behind the
+		// single-stream default, capped to keep the storage node fair.
+		inflight := 8 * *warmJobs
+		if inflight > 64 {
+			inflight = 64
+		}
+		client.SetMaxInflight(inflight)
+	}
 	mgr, err := cachemgr.New(cachemgr.Config{
 		Dir:         *dir,
 		Budget:      budgetBytes,
 		Quota:       quotaBytes,
 		ClusterBits: *clusterBits,
+		WarmProfile: *warmProfile,
+		WarmWorkers: *warmJobs,
+		WarmBudget:  warmBudgetBytes,
 		Backing:     rblock.RemoteStore{C: client},
 		Peers:       splitList(*peers),
 		Metrics:     reg,

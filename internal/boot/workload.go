@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vmicache/internal/prefetch"
 	"vmicache/internal/trace"
 )
 
@@ -64,6 +65,23 @@ func (w *Workload) ReadSpans() []Span {
 		}
 	}
 	return out
+}
+
+// PrefetchPlan exports the workload's read footprint as a prewarm plan:
+// reads in issue order, folded into larger extents when they overlap or sit
+// within maxGap bytes of each other, split at maxLen. Issue order is kept
+// deliberately — a prewarmer racing the boot it was derived from then stays
+// ahead of the guest instead of warming the tail first. Re-read extents
+// survive coalescing as duplicates; fetching them again is a warm hit and
+// costs nothing remote.
+func (w *Workload) PrefetchPlan(maxGap, maxLen int64) []prefetch.Extent {
+	exts := make([]prefetch.Extent, 0, len(w.Ops))
+	for _, op := range w.Ops {
+		if op.Kind == Read {
+			exts = append(exts, prefetch.Extent{Off: op.Off, Len: op.Len})
+		}
+	}
+	return prefetch.Coalesce(exts, maxGap, maxLen)
 }
 
 // Generate expands a profile into its operation stream. The same profile

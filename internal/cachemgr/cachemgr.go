@@ -102,6 +102,22 @@ type Config struct {
 	// deployments pass a boot profile).
 	WarmSpans []core.Span
 
+	// WarmProfile, when non-empty and WarmSpans is nil, selects
+	// profile-guided prewarming: the named boot profile (boot.ProfileByName)
+	// is scaled to the base's size and its coalesced read footprint
+	// becomes the warm plan, so a cold warm fetches the boot working set
+	// instead of the whole image.
+	WarmProfile string
+
+	// WarmWorkers parallelises cold warming (<= 1 replays the plan
+	// serially). Worth raising when the backing transport pipelines —
+	// rblock does.
+	WarmWorkers int
+
+	// WarmBudget bounds the bytes a parallel warm keeps in flight
+	// (0 means core.DefaultWarmBudget).
+	WarmBudget int64
+
 	// Logf, when non-nil, receives lifecycle events.
 	Logf func(format string, args ...any)
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"vmicache/internal/backend"
+	"vmicache/internal/boot"
 	"vmicache/internal/core"
 	"vmicache/internal/qcow"
 	"vmicache/internal/rblock"
@@ -90,14 +91,60 @@ func (m *Manager) corWarm(base, tmpName string) error {
 		return fmt.Errorf("cachemgr: opening warm chain for %s: %w", base, err)
 	}
 	spans := m.cfg.WarmSpans
+	if spans == nil && m.cfg.WarmProfile != "" {
+		spans, err = profileSpans(m.cfg.WarmProfile, baseSize)
+		if err != nil {
+			chain.Close() //nolint:errcheck // already failing
+			return fmt.Errorf("cachemgr: warm profile %q: %w", m.cfg.WarmProfile, err)
+		}
+	}
 	if spans == nil {
 		spans = fullSpans(baseSize)
 	}
-	if _, err := core.Warm(chain, spans); err != nil {
+	if m.cfg.WarmWorkers > 1 {
+		_, err = core.WarmParallel(chain, spans, m.cfg.WarmWorkers, m.cfg.WarmBudget)
+	} else {
+		_, err = core.Warm(chain, spans)
+	}
+	if err != nil {
 		chain.Close() //nolint:errcheck // already failing
 		return err
 	}
 	return chain.Close()
+}
+
+// Coalescing knobs for profile-guided warm plans: fold reads within 256 KiB
+// of each other into one fetch, cap fetches at 4 MiB so the worker pool
+// stays balanced and the in-flight budget meaningful.
+const (
+	profilePlanGap    = 256 << 10
+	profilePlanMaxLen = 4 << 20
+)
+
+// profileSpans derives a warm plan from a named boot profile: the profile is
+// scaled to the actual base size, its deterministic workload generated, and
+// the read footprint exported as coalesced extents clamped to the base.
+func profileSpans(name string, baseSize int64) ([]core.Span, error) {
+	p, err := boot.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.ImageSize > 0 && p.ImageSize != baseSize {
+		p = p.Scale(float64(baseSize) / float64(p.ImageSize))
+		p.ImageSize = baseSize
+	}
+	plan := boot.Generate(p).PrefetchPlan(profilePlanGap, profilePlanMaxLen)
+	spans := make([]core.Span, 0, len(plan))
+	for _, e := range plan {
+		if e.Off >= baseSize {
+			continue
+		}
+		if e.Off+e.Len > baseSize {
+			e.Len = baseSize - e.Off
+		}
+		spans = append(spans, core.Span{Off: e.Off, Len: e.Len})
+	}
+	return spans, nil
 }
 
 // warmWrap applies the test failure-injection hook to the warming temp

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// TestWarmParallelPopulatesCache warms a chain with overlapping spans
+// through the worker pool and checks the three properties that make
+// WarmParallel safe to race a boot: content stays exact, the singleflight
+// keeps base traffic near one pass even though the plan requests two, and
+// the result equals what a serial warm would produce.
+func TestWarmParallelPopulatesCache(t *testing.T) {
+	const size = 4 * mb
+	env := newTestEnv(t, size)
+	base := Locator{Store: "nfs", Name: "base.img"}
+	cache := Locator{Store: "disk", Name: "pwarm.cache"}
+	cow := Locator{Store: "disk", Name: "pwarm.cow"}
+	if err := CreateCache(env.ns, cache, base, env.size, 8*size, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := CreateCoW(env.ns, cow, cache, env.size, 0); err != nil {
+		t.Fatal(err)
+	}
+	var counters backend.Counters
+	c, err := OpenChain(env.ns, cow, ChainOpts{
+		WrapFile: func(loc Locator, f backend.File, depth int) backend.File {
+			if loc.Name == "base.img" {
+				return backend.NewCountingFile(f, &counters)
+			}
+			return f
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck // test teardown
+
+	// Two full passes in odd-sized spans: every byte is requested twice.
+	var spans []Span
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < size; off += 300 << 10 {
+			n := int64(300 << 10)
+			if size-off < n {
+				n = size - off
+			}
+			spans = append(spans, Span{Off: off, Len: n})
+		}
+	}
+	var want int64
+	for _, s := range spans {
+		want += s.Len
+	}
+	counters.Reset() // drop chain-open metadata traffic
+	n, err := WarmParallel(c, spans, 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("warmed %d bytes, want %d", n, want)
+	}
+	// The cache admits each cluster once, so base data traffic stays one
+	// pass despite the double plan (plus a little of the base's own L2
+	// metadata read on demand).
+	if got := counters.ReadBytes.Load(); got > size+(512<<10) {
+		t.Fatalf("base traffic %d for a %d image: duplicate fetches under parallel warm", got, size)
+	}
+
+	out := make([]byte, size)
+	if err := backend.ReadFull(c, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, env.pattern) {
+		t.Fatal("parallel-warmed chain diverges from reference")
+	}
+	counters.Reset()
+	if err := backend.ReadFull(c, out[:mb], 0); err != nil {
+		t.Fatal(err)
+	}
+	if counters.ReadBytes.Load() != 0 {
+		t.Fatalf("warm read still pulled %d bytes from base", counters.ReadBytes.Load())
+	}
+}
+
+// TestWarmParallelSerialFallback routes workers <= 1 through the plain
+// serial Warm.
+func TestWarmParallelSerialFallback(t *testing.T) {
+	env := newTestEnv(t, mb)
+	base := Locator{Store: "nfs", Name: "base.img"}
+	cache := Locator{Store: "disk", Name: "s.cache"}
+	if err := CreateCache(env.ns, cache, base, env.size, 4*mb, 9); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenChain(env.ns, cache, ChainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck // test teardown
+	n, err := WarmParallel(c, []Span{{0, 4096}, {8192, 512}}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4096+512 {
+		t.Fatalf("warmed %d", n)
+	}
+}
+
+// TestWarmParallelPropagatesErrors surfaces a failing span instead of
+// hanging the pool.
+func TestWarmParallelPropagatesErrors(t *testing.T) {
+	env := newTestEnv(t, mb)
+	base := Locator{Store: "nfs", Name: "base.img"}
+	cache := Locator{Store: "disk", Name: "e.cache"}
+	if err := CreateCache(env.ns, cache, base, env.size, 4*mb, 9); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenChain(env.ns, cache, ChainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()                                    //nolint:errcheck // test teardown
+	spans := []Span{{0, 4096}, {env.size - 512, 4096}} // second span runs past EOF
+	if _, err := WarmParallel(c, spans, 4, 0); err == nil {
+		t.Fatal("out-of-range span warmed without error")
+	}
+}

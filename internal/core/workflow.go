@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vmicache/internal/backend"
 	"vmicache/internal/qcow"
@@ -169,6 +170,86 @@ func Warm(c *Chain, spans []Span) (int64, error) {
 		total += s.Len
 	}
 	return total, nil
+}
+
+// DefaultWarmBudget bounds the bytes a parallel warm keeps in flight when
+// the caller does not say otherwise.
+const DefaultWarmBudget = 16 << 20
+
+// WarmParallel replays read spans against a chain with a worker pool,
+// keeping at most budget bytes in flight: spans are split into
+// budget/workers chunks and fetched concurrently, so adjacent profile
+// extents turn into deep pipelined reads of the backing transport instead
+// of serialized round trips. The chain's cache image deduplicates
+// overlapping fetches through its fill singleflight, so WarmParallel is
+// safe to run while a guest is already booting from the same chain. Chunks
+// complete out of order but are issued in span order, preserving a boot
+// plan's first-touch sequencing. Returns the bytes read (all spans, even
+// short ones past a smaller base, count in full — identical to Warm).
+func WarmParallel(c *Chain, spans []Span, workers int, budget int64) (int64, error) {
+	if workers <= 1 {
+		return Warm(c, spans)
+	}
+	if budget <= 0 {
+		budget = DefaultWarmBudget
+	}
+	chunk := budget / int64(workers)
+	if chunk < 64<<10 {
+		chunk = 64 << 10
+	}
+
+	work := make(chan Span, workers)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		werr  error
+		total int64
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if werr == nil {
+			werr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return werr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, chunk)
+			for s := range work {
+				if failed() {
+					continue // drain without fetching
+				}
+				if err := backend.ReadFull(c, buf[:s.Len], s.Off); err != nil {
+					fail(fmt.Errorf("core: warming at %d+%d: %w", s.Off, s.Len, err))
+					continue
+				}
+				mu.Lock()
+				total += s.Len
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, s := range spans {
+		for s.Len > 0 {
+			n := s.Len
+			if n > chunk {
+				n = chunk
+			}
+			work <- Span{Off: s.Off, Len: n}
+			s.Off += n
+			s.Len -= n
+		}
+	}
+	close(work)
+	wg.Wait()
+	return total, werr
 }
 
 // TransferCache copies a (closed, warm) cache image to another medium —

@@ -1,0 +1,44 @@
+package prefetch
+
+import "sync/atomic"
+
+// Budget bounds the bytes of readahead queued or in flight at once. It is a
+// non-blocking counting semaphore: the data path must never wait on the
+// prefetcher, so an acquisition that would exceed the limit simply fails and
+// the readahead is dropped (the guest read proceeds on the demand path
+// regardless).
+type Budget struct {
+	max int64
+	cur atomic.Int64
+}
+
+// NewBudget builds a budget of max in-flight bytes.
+func NewBudget(max int64) *Budget {
+	if max <= 0 {
+		max = DefaultBudget
+	}
+	return &Budget{max: max}
+}
+
+// TryAcquire reserves n bytes; it fails without blocking when the reservation
+// would exceed the budget.
+func (b *Budget) TryAcquire(n int64) bool {
+	for {
+		cur := b.cur.Load()
+		if cur+n > b.max {
+			return false
+		}
+		if b.cur.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Release returns n reserved bytes.
+func (b *Budget) Release(n int64) { b.cur.Add(-n) }
+
+// InUse reports the bytes currently reserved — the prefetch depth gauge.
+func (b *Budget) InUse() int64 { return b.cur.Load() }
+
+// Max reports the budget limit.
+func (b *Budget) Max() int64 { return b.max }

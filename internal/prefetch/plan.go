@@ -1,0 +1,49 @@
+package prefetch
+
+// Extent is one byte range of a prewarm plan.
+type Extent struct {
+	Off int64
+	Len int64
+}
+
+// Coalesce merges a sequence of extents into larger fetches while preserving
+// issue order: an extent is folded into its predecessor when it overlaps it
+// or starts within maxGap bytes of its end (the gap is fetched too — for a
+// boot footprint the bytes between two nearby reads are almost always read
+// moments later anyway, and one large pipelined fetch beats two round
+// trips). Merged extents are split at maxLen so a single fetch never exceeds
+// the transport's sweet spot. Extents with non-positive length are dropped;
+// maxGap <= 0 merges only overlapping/adjacent extents, maxLen <= 0 leaves
+// merged extents unsplit.
+func Coalesce(extents []Extent, maxGap, maxLen int64) []Extent {
+	out := make([]Extent, 0, len(extents))
+	for _, e := range extents {
+		if e.Len <= 0 {
+			continue
+		}
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			end := prev.Off + prev.Len
+			if e.Off >= prev.Off && e.Off <= end+maxGap {
+				if newEnd := e.Off + e.Len; newEnd > end {
+					prev.Len = newEnd - prev.Off
+				}
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	if maxLen <= 0 {
+		return out
+	}
+	split := make([]Extent, 0, len(out))
+	for _, e := range out {
+		for e.Len > maxLen {
+			split = append(split, Extent{Off: e.Off, Len: maxLen})
+			e.Off += maxLen
+			e.Len -= maxLen
+		}
+		split = append(split, e)
+	}
+	return split
+}

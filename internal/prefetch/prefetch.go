@@ -1,0 +1,206 @@
+// Package prefetch holds the policy side of the readahead subsystem: stream
+// detection and window sizing, the in-flight byte budget, and extent
+// coalescing for profile-guided prewarm plans. It is deliberately free of any
+// image-format knowledge — the mechanism (claiming cluster runs, singleflight
+// fills, quota interaction) lives in internal/qcow, which consumes the
+// decisions made here. Keeping policy separate lets the detector be unit
+// tested with plain offsets and reused by any block-level consumer.
+package prefetch
+
+import "sync"
+
+// Default policy knobs. The initial window is big enough that one readahead
+// covers several guest requests; the max window bounds how far a stream runs
+// ahead of the guest (and therefore how much a mispredicted stream can
+// waste). MaxGap tolerates the small forward jumps (skipped metadata,
+// sub-cluster alignment) that boot-time sequential runs exhibit.
+const (
+	DefaultStreams    = 8
+	DefaultInitWindow = 128 << 10
+	DefaultMaxWindow  = 2 << 20
+	DefaultMaxGap     = 256 << 10
+	DefaultBudget     = 8 << 20
+	DefaultWorkers    = 2
+	DefaultQueueLen   = 64
+)
+
+// Config parameterises the readahead policy.
+type Config struct {
+	// Streams is the number of concurrent sequential streams tracked.
+	// Guests interleave several sequential walks (program load, file
+	// scan); each gets an independent window.
+	Streams int
+
+	// InitWindow is the first readahead issued when a stream is confirmed
+	// (second sequential access), in bytes.
+	InitWindow int64
+
+	// MaxWindow caps the window after repeated hits, in bytes.
+	MaxWindow int64
+
+	// MaxGap is the largest forward jump from a stream's expected next
+	// offset still treated as a continuation, in bytes.
+	MaxGap int64
+
+	// Budget bounds the bytes of readahead queued or in flight at once.
+	Budget int64
+
+	// Workers is the number of background fill workers.
+	Workers int
+
+	// QueueLen is the depth of the readahead request queue.
+	QueueLen int
+}
+
+// WithDefaults returns cfg with zero fields replaced by the defaults.
+func (c Config) WithDefaults() Config {
+	if c.Streams <= 0 {
+		c.Streams = DefaultStreams
+	}
+	if c.InitWindow <= 0 {
+		c.InitWindow = DefaultInitWindow
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = DefaultMaxWindow
+	}
+	if c.MaxWindow < c.InitWindow {
+		c.MaxWindow = c.InitWindow
+	}
+	if c.MaxGap <= 0 {
+		c.MaxGap = DefaultMaxGap
+	}
+	if c.Budget <= 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = DefaultQueueLen
+	}
+	return c
+}
+
+// Req is one readahead decision: fetch [Off, Off+Len). Stream and Gen tie
+// the request to the detector state that issued it, so requests queued
+// behind a stream that has since diverged can be dropped instead of filled.
+type Req struct {
+	Off    int64
+	Len    int64
+	Stream int
+	Gen    uint64
+}
+
+// stream is one tracked sequential access pattern.
+type stream struct {
+	next    int64 // expected offset of the guest's next request
+	ahead   int64 // absolute offset readahead has been issued up to
+	window  int64 // current readahead window (bytes)
+	gen     uint64
+	lastUse uint64
+	live    bool
+}
+
+// Detector classifies guest reads into sequential streams and decides how
+// far to read ahead. It holds a fixed table of stream slots (LRU-replaced)
+// so Observe is O(Streams) with no allocation — it sits on the warm-read
+// hot path, which must stay allocation-free.
+type Detector struct {
+	mu      sync.Mutex
+	cfg     Config
+	streams []stream
+	clock   uint64
+}
+
+// NewDetector builds a detector with the given (defaulted) configuration.
+func NewDetector(cfg Config) *Detector {
+	cfg = cfg.WithDefaults()
+	return &Detector{cfg: cfg, streams: make([]stream, cfg.Streams)}
+}
+
+// Observe records one guest read and returns the readahead to issue, if
+// any. A read continuing an existing stream advances it and doubles its
+// window (up to MaxWindow); the returned request covers only the part of
+// the new window not already issued. A read matching no stream replaces the
+// least recently used slot, bumps its generation — invalidating any queued
+// requests the old stream issued — and returns no request: single probes
+// never trigger readahead, only a confirmed second access does.
+func (d *Detector) Observe(off, n int64) (Req, bool) {
+	if n <= 0 {
+		return Req{}, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock++
+
+	best, bestDist := -1, int64(-1)
+	for i := range d.streams {
+		s := &d.streams[i]
+		if !s.live {
+			continue
+		}
+		dist := off - s.next
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist <= d.cfg.MaxGap && (best < 0 || dist < bestDist) {
+			best, bestDist = i, dist
+		}
+	}
+	if best < 0 {
+		// New (or random) access: claim the LRU slot, issue nothing.
+		victim := 0
+		for i := range d.streams {
+			if !d.streams[i].live {
+				victim = i
+				break
+			}
+			if d.streams[i].lastUse < d.streams[victim].lastUse {
+				victim = i
+			}
+		}
+		s := &d.streams[victim]
+		s.gen++
+		s.live = true
+		s.next = off + n
+		s.ahead = off + n
+		s.window = d.cfg.InitWindow
+		s.lastUse = d.clock
+		return Req{}, false
+	}
+
+	s := &d.streams[best]
+	s.lastUse = d.clock
+	if end := off + n; end > s.next {
+		s.next = end
+	}
+	if s.window < d.cfg.MaxWindow {
+		s.window *= 2
+		if s.window > d.cfg.MaxWindow {
+			s.window = d.cfg.MaxWindow
+		}
+	}
+	start := s.ahead
+	if start < s.next {
+		start = s.next
+	}
+	target := s.next + s.window
+	if target <= start {
+		return Req{}, false // already issued far enough ahead
+	}
+	s.ahead = target
+	return Req{Off: start, Len: target - start, Stream: best, Gen: s.gen}, true
+}
+
+// Valid reports whether the stream that issued r has not diverged since.
+// Workers check it when dequeuing so stale readahead is dropped, realising
+// the "cancel on divergence" half of the policy without tracking in-flight
+// requests individually.
+func (d *Detector) Valid(r Req) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r.Stream < 0 || r.Stream >= len(d.streams) {
+		return false
+	}
+	return d.streams[r.Stream].gen == r.Gen
+}

@@ -1,0 +1,148 @@
+package prefetch
+
+import "testing"
+
+func TestDetectorSequentialGrowth(t *testing.T) {
+	d := NewDetector(Config{InitWindow: 64 << 10, MaxWindow: 256 << 10, MaxGap: 16 << 10})
+	const req = 16 << 10
+
+	// First touch starts a stream but must not prefetch.
+	if _, ok := d.Observe(0, req); ok {
+		t.Fatal("first access triggered readahead")
+	}
+	// Second sequential access confirms the stream: one window, ahead of
+	// the guest.
+	r, ok := d.Observe(req, req)
+	if !ok {
+		t.Fatal("sequential continuation issued no readahead")
+	}
+	if r.Off != 2*req {
+		t.Fatalf("readahead starts at %d, want %d", r.Off, 2*req)
+	}
+	if r.Len != 128<<10 {
+		t.Fatalf("first window = %d, want doubled init %d", r.Len, 128<<10)
+	}
+
+	// Keep streaming: issued-ahead coverage must be contiguous (no gaps,
+	// no re-issue) and the window must saturate at MaxWindow.
+	ahead := r.Off + r.Len
+	var lastLen int64
+	for i := 2; i < 40; i++ {
+		r, ok := d.Observe(int64(i)*req, req)
+		if !ok {
+			continue
+		}
+		if r.Off != ahead {
+			t.Fatalf("readahead gap: got %d, want %d", r.Off, ahead)
+		}
+		ahead = r.Off + r.Len
+		lastLen = r.Len
+	}
+	if lastLen <= 0 || lastLen > 256<<10 {
+		t.Fatalf("window %d exceeds max", lastLen)
+	}
+	// At saturation every request advances the window by exactly the
+	// guest's stride.
+	r, ok = d.Observe(40*req, req)
+	if !ok || r.Len != req {
+		t.Fatalf("saturated advance = %v %d, want %d", ok, r.Len, req)
+	}
+}
+
+func TestDetectorDivergenceInvalidates(t *testing.T) {
+	d := NewDetector(Config{Streams: 1, MaxGap: 4 << 10})
+	d.Observe(0, 4<<10)
+	r, ok := d.Observe(4<<10, 4<<10)
+	if !ok {
+		t.Fatal("no readahead on continuation")
+	}
+	if !d.Valid(r) {
+		t.Fatal("live stream's request reported stale")
+	}
+	// A far jump with only one slot evicts the stream: the queued request
+	// must turn stale (cancel on divergence).
+	d.Observe(1<<30, 4<<10)
+	if d.Valid(r) {
+		t.Fatal("diverged stream's request still valid")
+	}
+}
+
+func TestDetectorTracksParallelStreams(t *testing.T) {
+	d := NewDetector(Config{Streams: 4, MaxGap: 4 << 10, InitWindow: 32 << 10})
+	const req = 8 << 10
+	bases := []int64{0, 1 << 28, 2 << 28, 3 << 28}
+	for _, b := range bases {
+		d.Observe(b, req)
+	}
+	for step := 1; step < 4; step++ {
+		for si, b := range bases {
+			r, ok := d.Observe(b+int64(step)*req, req)
+			if !ok {
+				t.Fatalf("stream %d step %d: no readahead", si, step)
+			}
+			if r.Off < b || r.Off >= b+(1<<28) {
+				t.Fatalf("stream %d readahead at %d escaped its region", si, r.Off)
+			}
+		}
+	}
+}
+
+func TestDetectorToleratesSmallGaps(t *testing.T) {
+	d := NewDetector(Config{MaxGap: 64 << 10})
+	d.Observe(0, 16<<10)
+	// Skip 32 KiB: still the same stream.
+	if _, ok := d.Observe(48<<10, 16<<10); !ok {
+		t.Fatal("forward jump within MaxGap broke the stream")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(100)
+	if !b.TryAcquire(60) || !b.TryAcquire(40) {
+		t.Fatal("acquisitions within budget failed")
+	}
+	if b.TryAcquire(1) {
+		t.Fatal("over-budget acquisition succeeded")
+	}
+	if b.InUse() != 100 {
+		t.Fatalf("InUse = %d, want 100", b.InUse())
+	}
+	b.Release(40)
+	if !b.TryAcquire(30) {
+		t.Fatal("acquisition after release failed")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	in := []Extent{
+		{0, 100},    // run start
+		{100, 50},   // adjacent: merge
+		{180, 20},   // 30-byte gap <= maxGap: merge, absorbing the gap
+		{150, 10},   // already covered (re-read): no growth
+		{1000, 100}, // far: new extent
+		{0, 0},      // dropped
+	}
+	got := Coalesce(in, 64, 0)
+	want := []Extent{{0, 200}, {1000, 100}}
+	if len(got) != len(want) {
+		t.Fatalf("Coalesce = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Coalesce[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCoalesceSplitsAtMaxLen(t *testing.T) {
+	got := Coalesce([]Extent{{0, 100}, {100, 150}}, 0, 100)
+	want := []Extent{{0, 100}, {100, 100}, {200, 50}}
+	if len(got) != len(want) {
+		t.Fatalf("Coalesce = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Coalesce[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

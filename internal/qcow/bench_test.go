@@ -11,9 +11,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"vmicache/internal/backend"
 	"vmicache/internal/metrics"
+	"vmicache/internal/prefetch"
 	"vmicache/internal/qcow"
 )
 
@@ -30,17 +32,25 @@ func (s benchSource) ReadAt(p []byte, off int64) (int, error) {
 func (s benchSource) Size() int64 { return s.n }
 
 // newChain builds base <- cache <- CoW in memory and registers both images on
-// a fresh registry, so the timed path runs with instruments attached.
+// a fresh registry, so the timed path runs with instruments attached. The
+// cache runs with the adaptive readahead engine enabled: the warm-read
+// zero-alloc guarantee is pinned with both instrumentation AND prefetch
+// observation on the hot path.
 func newChain(b *testing.B) *qcow.Image {
+	cow, _ := newChainSource(b, benchSource{n: 64 << 20})
+	return cow
+}
+
+func newChainSource(b *testing.B, src qcow.BlockSource) (*qcow.Image, *qcow.Image) {
 	b.Helper()
-	const size = 64 << 20
+	size := src.Size()
 	cache, err := qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
 		Size: size, ClusterBits: 9, BackingFile: "b", CacheQuota: size,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	cache.SetBacking(benchSource{n: size})
+	cache.SetBacking(src)
 	cow, err := qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
 		Size: size, ClusterBits: 16, BackingFile: "c",
 	})
@@ -51,7 +61,10 @@ func newChain(b *testing.B) *qcow.Image {
 	reg := metrics.NewRegistry()
 	cache.RegisterMetrics(reg, metrics.Labels{"image": "cache"})
 	cow.RegisterMetrics(reg, metrics.Labels{"image": "cow"})
-	return cow
+	if _, err := cache.EnablePrefetch(prefetch.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	return cow, cache
 }
 
 // BenchmarkWarmRead measures single-reader warm-cache hits; the hot path must
@@ -119,6 +132,76 @@ func BenchmarkParallelWarmRead(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// latencySource models a remote base: every backing read costs one fixed
+// round trip.
+type latencySource struct {
+	benchSource
+	delay time.Duration
+}
+
+func (s latencySource) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(s.delay)
+	return s.benchSource.ReadAt(p, off)
+}
+
+// BenchmarkSequentialColdRead measures a sequential cold scan over a
+// latency-bearing backing source, demand-only vs with adaptive readahead.
+// Demand reads pay one round trip per request; the readahead engine claims
+// whole cluster runs ahead of the stream, so the guest mostly lands on warm
+// (or in-flight) clusters and the round trips overlap with the copy-out.
+func BenchmarkSequentialColdRead(b *testing.B) {
+	const (
+		size  = 64 << 20
+		span  = 24 << 10
+		cold  = int64(60 << 20) // scanned region per fresh chain
+		delay = 200 * time.Microsecond
+	)
+	run := func(b *testing.B, withPrefetch bool) {
+		var cow, cache *qcow.Image
+		mk := func() {
+			if cow != nil {
+				cow.Close()   //nolint:errcheck // bench teardown
+				cache.Close() //nolint:errcheck // bench teardown
+			}
+			cache, _ = qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
+				Size: size, ClusterBits: 9, BackingFile: "b", CacheQuota: size,
+			})
+			cache.SetBacking(latencySource{benchSource{n: size}, delay})
+			cow, _ = qcow.Create(backend.NewMemFile(), qcow.CreateOpts{
+				Size: size, ClusterBits: 16, BackingFile: "c",
+			})
+			cow.SetBacking(cache)
+			if withPrefetch {
+				cfg := prefetch.Config{Workers: 4, MaxWindow: 4 << 20, Budget: 16 << 20}
+				if _, err := cache.EnablePrefetch(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		buf := make([]byte, span)
+		pos := cold // force chain creation on the first iteration
+		b.SetBytes(span)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pos+span > cold {
+				b.StopTimer()
+				mk()
+				pos = 0
+				b.StartTimer()
+			}
+			if _, err := cow.ReadAt(buf, pos); err != nil {
+				b.Fatal(err)
+			}
+			pos += span
+		}
+		b.StopTimer()
+		cow.Close()   //nolint:errcheck // bench teardown
+		cache.Close() //nolint:errcheck // bench teardown
+	}
+	b.Run("demand", func(b *testing.B) { run(b, false) })
+	b.Run("prefetch", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkColdFill measures copy-on-read fills (leader path, including the

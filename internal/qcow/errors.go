@@ -21,4 +21,10 @@ var (
 	ErrBackingMissing  = errors.New("qcow: cluster unallocated and no backing image")
 	ErrBackingNameSize = errors.New("qcow: backing file name does not fit in first cluster")
 	ErrQuotaTooSmall   = errors.New("qcow: cache quota smaller than initial metadata")
+
+	// Prefetch attachment errors: readahead fills clusters copy-on-read,
+	// so only a writable cache image can host a prefetcher, and at most
+	// one at a time.
+	ErrPrefetchNotCache = errors.New("qcow: prefetch requires a cache image")
+	ErrPrefetchEnabled  = errors.New("qcow: prefetch already enabled")
 )

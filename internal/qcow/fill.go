@@ -24,14 +24,15 @@ import (
 
 // fill is one in-flight copy-on-read fetch of a contiguous cluster run.
 type fill struct {
-	vc      int64 // first claimed cluster
-	claimed int64 // clusters claimed [vc, vc+claimed)
-	fetched int64 // clusters actually fetched into buf (set by the leader)
-	buf     []byte
-	err     error
-	done    chan struct{}
-	refs    atomic.Int32
-	pool    *bufPool
+	vc       int64 // first claimed cluster
+	claimed  int64 // clusters claimed [vc, vc+claimed)
+	fetched  int64 // clusters actually fetched into buf (set by the leader)
+	prefetch bool  // led by the readahead engine (set by the leader before leadFill)
+	buf      []byte
+	err      error
+	done     chan struct{}
+	refs     atomic.Int32
+	pool     *bufPool
 }
 
 // release drops one reference; the last reference recycles the buffer.
@@ -204,6 +205,16 @@ func (img *Image) leadFill(f *fill, backing BlockSource) {
 	}
 	img.stats.CacheFillOps.Add(final)
 	img.stats.CacheFillBytes.Add(minI64(fetchLen, final*cs))
+	if f.prefetch && final > 0 {
+		img.stats.PrefetchOps.Add(1)
+		img.stats.PrefetchBytes.Add(minI64(fetchLen, final*cs))
+		// Mark before waiters see f.done: a guest read served from this
+		// buffer (or from the freshly bound clusters) must find the
+		// marks it is about to clear.
+		if pf := img.pf.Load(); pf != nil {
+			pf.markPrefetched(f.vc, final)
+		}
+	}
 	img.mu.Unlock()
 	img.stats.FillLatency.Observe(time.Since(start).Nanoseconds())
 
@@ -237,5 +248,12 @@ func (img *Image) fillRun(vc, run, pos int64, span []byte, backing BlockSource) 
 	}
 	served := minI64(pos+int64(len(span)), covEnd) - pos
 	copy(span[:served], f.buf[pos-f.vc*cs:])
+	// A guest read served straight from a readahead fill's buffer consumed
+	// the prefetch: clear the marks so the bytes count as hits, not waste.
+	if f.prefetch {
+		if pf := img.pf.Load(); pf != nil {
+			pf.markRead(pos, served)
+		}
+	}
 	return int(served), nil
 }

@@ -56,6 +56,20 @@ type Stats struct {
 	// FillLatency records the duration (ns) of each successful leader
 	// fill: the backing fetch plus allocation and binding.
 	FillLatency metrics.AtomicHistogram
+
+	// Prefetch effectiveness (prefetch.go). PrefetchOps/PrefetchBytes
+	// count fills led by the readahead engine; PrefetchHitBytes counts
+	// prefetched bytes later served to guest reads; PrefetchWastedBytes
+	// counts prefetched bytes never read by the time the engine detached;
+	// PrefetchDropped counts readahead refused by the budget or a full
+	// queue; PrefetchCancelled counts queued readahead invalidated by
+	// stream divergence before a worker picked it up.
+	PrefetchOps         atomic.Int64
+	PrefetchBytes       atomic.Int64
+	PrefetchHitBytes    atomic.Int64
+	PrefetchWastedBytes atomic.Int64
+	PrefetchDropped     atomic.Int64
+	PrefetchCancelled   atomic.Int64
 }
 
 // CreateOpts parameterises image creation, mirroring qemu-img's knobs plus
@@ -140,6 +154,11 @@ type Image struct {
 	// compCursor is the next 512-aligned free offset inside a partially
 	// filled compressed-blob cluster (0 = none open).
 	compCursor int64
+
+	// pf is the attached readahead engine, nil when prefetch is off. The
+	// hot path loads it once per hook; EnablePrefetch installs with CAS
+	// and Close/detach clears it.
+	pf atomic.Pointer[Prefetcher]
 
 	stats Stats
 }
@@ -447,6 +466,12 @@ func (img *Image) Close() error {
 	}
 	img.closed = true
 	img.mu.Unlock()
+	// Stop the readahead engine before draining: its workers register on
+	// readers like any data-path user, and new work they would pick up
+	// after the closed flip would only fail enterRead anyway.
+	if pf := img.pf.Load(); pf != nil {
+		pf.Close()
+	}
 	img.readers.Wait()
 	if !img.ro {
 		if err := img.syncCacheUsed(); err != nil {

@@ -1,0 +1,258 @@
+package qcow
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/prefetch"
+)
+
+// delaySource models a latency-bearing backing medium (remote storage node):
+// every request pays a fixed round-trip before the data arrives.
+type delaySource struct {
+	src BlockSource
+	d   time.Duration
+}
+
+func (s delaySource) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(s.d)
+	return s.src.ReadAt(p, off)
+}
+
+func (s delaySource) Size() int64 { return s.src.Size() }
+
+// pfConfig is a small, fast-ramping policy for tests: readahead kicks in on
+// the second sequential read and windows stay a few clusters long.
+func pfConfig() prefetch.Config {
+	return prefetch.Config{
+		Streams:    4,
+		InitWindow: 8 << 10,
+		MaxWindow:  64 << 10,
+		MaxGap:     8 << 10,
+		Budget:     1 << 20,
+		Workers:    2,
+		QueueLen:   32,
+	}
+}
+
+func TestEnablePrefetchErrors(t *testing.T) {
+	base, _ := newPatternedBase(t, testMB, 3)
+	cache := newCache(t, testMB, 4*testMB, 9, RawSource{R: base, N: testMB})
+	defer cache.Close() //nolint:errcheck // test teardown
+
+	if _, err := cache.EnablePrefetch(pfConfig()); err != nil {
+		t.Fatalf("EnablePrefetch: %v", err)
+	}
+	if _, err := cache.EnablePrefetch(pfConfig()); !errors.Is(err, ErrPrefetchEnabled) {
+		t.Fatalf("second EnablePrefetch = %v, want ErrPrefetchEnabled", err)
+	}
+
+	plain, err := Create(backend.NewMemFile(), CreateOpts{Size: testMB, ClusterBits: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close() //nolint:errcheck // test teardown
+	if _, err := plain.EnablePrefetch(pfConfig()); !errors.Is(err, ErrPrefetchNotCache) {
+		t.Fatalf("EnablePrefetch on non-cache = %v, want ErrPrefetchNotCache", err)
+	}
+}
+
+// TestPrefetchSequentialAccounting streams the image sequentially with the
+// engine attached and checks the effectiveness ledger: every prefetched byte
+// is eventually either a hit or waste, never both, and data stays exact.
+func TestPrefetchSequentialAccounting(t *testing.T) {
+	const size = 2 * testMB
+	base, pat := newPatternedBase(t, size, 5)
+	cache := newCache(t, size, 8*size, 9,
+		delaySource{src: RawSource{R: base, N: size}, d: 100 * time.Microsecond})
+
+	pf, err := cache.EnablePrefetch(pfConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16<<10)
+	for off := int64(0); off < size; off += int64(len(buf)) {
+		if err := backend.ReadFull(cache, buf, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, pat[off:off+int64(len(buf))]) {
+			t.Fatalf("data mismatch at %d", off)
+		}
+	}
+	pf.Close() // drain workers, settle the hit/waste ledger
+
+	s := cache.Stats()
+	pb, hit, waste := s.PrefetchBytes.Load(), s.PrefetchHitBytes.Load(), s.PrefetchWastedBytes.Load()
+	if pb == 0 {
+		t.Fatal("sequential scan triggered no prefetch fills")
+	}
+	if hit == 0 {
+		t.Fatal("no prefetched bytes were credited as hits")
+	}
+	if hit+waste != pb {
+		t.Fatalf("ledger mismatch: prefetched %d, hits %d + wasted %d = %d",
+			pb, hit, waste, hit+waste)
+	}
+	// The scan consumed the whole image, so hits should dominate waste.
+	if hit < pb/2 {
+		t.Fatalf("hits %d < half of prefetched %d on a full sequential scan", hit, pb)
+	}
+	if err := cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchSingleflightWithGuestMisses races sequential guest readers
+// against the readahead engine on a shared cold cache and asserts the core
+// invariant: no cluster is ever fetched from the backing source twice.
+func TestPrefetchSingleflightWithGuestMisses(t *testing.T) {
+	const (
+		size    = 2 * testMB
+		cs      = 512
+		workers = 8
+	)
+	base, pat := newPatternedBase(t, size, 9)
+	track := &trackingSource{
+		src:         RawSource{R: base, N: size},
+		clusterSize: cs,
+		counts:      make([]atomic.Int32, size/cs),
+	}
+	cache := newCache(t, size, 8*size, 9, track)
+	if _, err := cache.EnablePrefetch(pfConfig()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each worker scans its own region sequentially (feeding the stream
+	// detector) while every fourth read probes a shared hot region so
+	// guest misses, prefetch fills, and follower waits all collide.
+	region := int64(size / workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 8<<10)
+			start := int64(w) * region
+			for off := start; off+int64(len(buf)) <= start+region; off += int64(len(buf)) {
+				if err := backend.ReadFull(cache, buf, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf, pat[off:off+int64(len(buf))]) {
+					errs <- errors.New("data mismatch during concurrent scan")
+					return
+				}
+				if off%(4*int64(len(buf))) == 0 {
+					hot := off % (size / 16)
+					if err := backend.ReadFull(cache, buf, hot); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := cache.Close(); err != nil { // stops the engine, settles counters
+		t.Fatal(err)
+	}
+	for c := range track.counts {
+		if got := track.counts[c].Load(); got > 1 {
+			t.Fatalf("cluster %d fetched %d times from backing with prefetch enabled, want <= 1", c, got)
+		}
+	}
+}
+
+// TestPrefetchQuotaExhaustion drives readahead into the §4.3 space error:
+// once the quota trips, the cache must stop filling (workers go quiescent),
+// keep serving reads by pass-through, and stay structurally sound.
+func TestPrefetchQuotaExhaustion(t *testing.T) {
+	const size = 2 * testMB
+	base, pat := newPatternedBase(t, size, 13)
+	// Quota fits the metadata plus only a small slice of the data.
+	quota := MinCacheQuota(size, 9) + 64<<10
+	cache := newCache(t, size, quota, 9, RawSource{R: base, N: size})
+
+	if _, err := cache.EnablePrefetch(pfConfig()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16<<10)
+	for off := int64(0); off+int64(len(buf)) <= size; off += int64(len(buf)) {
+		if err := backend.ReadFull(cache, buf, off); err != nil {
+			t.Fatalf("read at %d after quota exhaustion: %v", off, err)
+		}
+		if !bytes.Equal(buf, pat[off:off+int64(len(buf))]) {
+			t.Fatalf("data mismatch at %d", off)
+		}
+	}
+	if !cache.CacheFull() {
+		t.Fatal("cache never tripped the space error under prefetch")
+	}
+	if got := cache.UsedBytes(); got > quota {
+		t.Fatalf("used %d exceeds quota %d: prefetch overfilled past the space error", got, quota)
+	}
+	res, err := cache.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("image inconsistent after quota-limited prefetch:\n%s", res)
+	}
+	if err := cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchRacesClose closes the image while readers and the readahead
+// engine are mid-flight: Close must drain cleanly (no lost fills, no use
+// after close) and late readers must see ErrClosed.
+func TestPrefetchRacesClose(t *testing.T) {
+	const size = 2 * testMB
+	base, _ := newPatternedBase(t, size, 17)
+	for iter := 0; iter < 8; iter++ {
+		cache := newCache(t, size, 8*size, 9, RawSource{R: base, N: size})
+		if _, err := cache.EnablePrefetch(pfConfig()); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				buf := make([]byte, 8<<10)
+				off := int64(w) * (size / 4)
+				for {
+					_, err := cache.ReadAt(buf, off%size)
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					if err != nil {
+						t.Errorf("reader %d: %v", w, err)
+						return
+					}
+					off += int64(len(buf))
+				}
+			}(w)
+		}
+		close(start)
+		if err := cache.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if _, err := cache.ReadAt(make([]byte, 512), 0); !errors.Is(err, ErrClosed) {
+			t.Fatalf("read after close = %v, want ErrClosed", err)
+		}
+	}
+}

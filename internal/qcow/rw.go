@@ -43,6 +43,9 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 	}
 	img.stats.GuestReadOps.Add(1)
 	img.stats.GuestReadBytes.Add(int64(n))
+	if pf := img.pf.Load(); pf != nil {
+		pf.observe(off, int64(n))
+	}
 
 	done := 0
 	for done < n {
@@ -73,6 +76,12 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 				return done, err
 			}
 			copy(seg, data[inOff:])
+			if img.isCache {
+				// A compressed cluster is still a local hit: count it
+				// like the raw branch so the local/backing traffic
+				// ratio stays truthful for compressed caches.
+				img.stats.LocalBytes.Add(int64(want))
+			}
 			done += want
 		case m.dataOff != 0:
 			// Coalesce physically contiguous allocated clusters
@@ -104,6 +113,9 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 			}
 			if img.isCache {
 				img.stats.LocalBytes.Add(int64(want))
+				if pf := img.pf.Load(); pf != nil {
+					pf.markRead(pos, int64(want))
+				}
 			}
 			done += want
 		case img.backing != nil:
@@ -213,15 +225,23 @@ func (img *Image) runAllocCost(vc, k int64) int64 {
 // images, writing part of an unallocated cluster triggers a copy-on-write
 // fill: the remainder of the cluster is fetched from the backing chain so
 // the newly allocated cluster is complete.
+//
+// Overwrites of already-allocated raw clusters — the steady state once a
+// cluster has been written once — mirror ReadAt's locking: translate under
+// the shared metadata lock, then perform the data write with no image lock
+// held (bound clusters are never moved or freed, and the §5 model leaves
+// data atomicity to the container). Only allocating paths (CoW fill,
+// compressed rewrite) take the exclusive lock, and they re-translate after
+// acquiring it because another writer may have allocated the cluster in the
+// window between the locks.
 func (img *Image) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, ErrOutOfRange
 	}
-	img.mu.Lock()
-	defer img.mu.Unlock()
-	if img.closed {
-		return 0, ErrClosed
+	if err := img.enterRead(); err != nil {
+		return 0, err
 	}
+	defer img.readers.Done()
 	if img.ro {
 		return 0, ErrReadOnly
 	}
@@ -247,65 +267,60 @@ func (img *Image) WriteAt(p []byte, off int64) (int, error) {
 		}
 		seg := p[done : done+want]
 
+		// Fast path: the cluster is already allocated raw. Capture the
+		// translation under the shared lock, write without it.
+		img.mu.RLock()
 		m, err := img.lookup(vc)
 		if err != nil {
+			img.mu.RUnlock()
 			return done, err
 		}
 		if m.dataOff != 0 && !m.compressed {
-			if err := backend.WriteFull(img.f, seg, m.dataOff+inOff); err != nil {
+			dataOff := m.dataOff
+			img.mu.RUnlock()
+			if err := backend.WriteFull(img.f, seg, dataOff+inOff); err != nil {
 				return done, err
 			}
 			done += want
 			continue
 		}
-		if m.compressed {
-			// Copy-on-write out of a compressed cluster: inflate,
-			// merge, store raw, release the blob's clusters.
-			blobOff := m.dataOff
-			old, err := img.readCompressed(blobOff)
-			if err != nil {
-				return done, err
-			}
-			buf := img.cbuf.getZero(int(img.ly.clusterSize))
-			copy(buf, old)
-			copy(buf[inOff:], seg)
-			dataOff, err := img.allocCluster(false)
-			if err == nil {
-				err = backend.WriteFull(img.f, buf, dataOff)
-			}
-			img.cbuf.put(buf)
-			if err != nil {
-				return done, err
-			}
-			if err := img.bindCluster(&m, dataOff); err != nil {
-				return done, err
-			}
-			if err := img.releaseBlobLocked(blobOff); err != nil {
-				return done, err
-			}
-			done += want
-			continue
-		}
+		img.mu.RUnlock()
 
-		// Copy-on-write allocation.
-		m2, err := img.ensureL2(vc)
+		img.mu.Lock()
+		err = img.writeSlowLocked(vc, inOff, seg, size)
+		img.mu.Unlock()
 		if err != nil {
 			return done, err
 		}
-		clusterStart := vc * img.ly.clusterSize
-		clusterLen := img.ly.clusterSize
-		if clusterStart+clusterLen > size {
-			clusterLen = size - clusterStart
+		done += want
+	}
+	return n, nil
+}
+
+// writeSlowLocked handles the allocating write paths under the exclusive
+// lock: re-translate (the state may have changed since the caller's shared-
+// lock probe), then overwrite, rewrite-from-compressed, or copy-on-write
+// allocate as the fresh translation dictates.
+func (img *Image) writeSlowLocked(vc, inOff int64, seg []byte, size int64) error {
+	m, err := img.lookup(vc)
+	if err != nil {
+		return err
+	}
+	if m.dataOff != 0 && !m.compressed {
+		// Lost the race with another writer's allocation: plain
+		// overwrite, already serialised by the lock we hold.
+		return backend.WriteFull(img.f, seg, m.dataOff+inOff)
+	}
+	if m.compressed {
+		// Copy-on-write out of a compressed cluster: inflate, merge,
+		// store raw, release the blob's clusters.
+		blobOff := m.dataOff
+		old, err := img.readCompressed(blobOff)
+		if err != nil {
+			return err
 		}
 		buf := img.cbuf.getZero(int(img.ly.clusterSize))
-		fullCover := inOff == 0 && int64(want) >= clusterLen
-		if !fullCover && img.backing != nil {
-			if err := img.readBacking(img.backing, buf[:clusterLen], clusterStart); err != nil {
-				img.cbuf.put(buf)
-				return done, err
-			}
-			img.stats.CowFillBytes.Add(clusterLen)
-		}
+		copy(buf, old)
 		copy(buf[inOff:], seg)
 		dataOff, err := img.allocCluster(false)
 		if err == nil {
@@ -313,14 +328,43 @@ func (img *Image) WriteAt(p []byte, off int64) (int, error) {
 		}
 		img.cbuf.put(buf)
 		if err != nil {
-			return done, err
+			return err
 		}
-		if err := img.bindCluster(&m2, dataOff); err != nil {
-			return done, err
+		if err := img.bindCluster(&m, dataOff); err != nil {
+			return err
 		}
-		done += want
+		return img.releaseBlobLocked(blobOff)
 	}
-	return n, nil
+
+	// Copy-on-write allocation.
+	m2, err := img.ensureL2(vc)
+	if err != nil {
+		return err
+	}
+	clusterStart := vc * img.ly.clusterSize
+	clusterLen := img.ly.clusterSize
+	if clusterStart+clusterLen > size {
+		clusterLen = size - clusterStart
+	}
+	buf := img.cbuf.getZero(int(img.ly.clusterSize))
+	fullCover := inOff == 0 && int64(len(seg)) >= clusterLen
+	if !fullCover && img.backing != nil {
+		if err := img.readBacking(img.backing, buf[:clusterLen], clusterStart); err != nil {
+			img.cbuf.put(buf)
+			return err
+		}
+		img.stats.CowFillBytes.Add(clusterLen)
+	}
+	copy(buf[inOff:], seg)
+	dataOff, err := img.allocCluster(false)
+	if err == nil {
+		err = backend.WriteFull(img.f, buf, dataOff)
+	}
+	img.cbuf.put(buf)
+	if err != nil {
+		return err
+	}
+	return img.bindCluster(&m2, dataOff)
 }
 
 // Allocated reports whether the cluster containing virtual offset off is

@@ -44,6 +44,11 @@ type Client struct {
 
 	timeout time.Duration
 
+	// maxInflight overrides clientMaxInflightSegments when positive; deep
+	// prefetch queues raise it so one large readahead fetch saturates the
+	// pipe (SetMaxInflight).
+	maxInflight atomic.Int32
+
 	ctr clientCounters
 }
 
@@ -398,12 +403,33 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	return done, nil
 }
 
+// SetMaxInflight overrides how many segments of one large ReadAt/WriteAt are
+// pipelined concurrently (default clientMaxInflightSegments). Prefetchers
+// issuing multi-megabyte coalesced fetches raise it so a single deep request
+// keeps the connection full; n < 1 restores the default. Safe to call
+// concurrently with I/O — in-flight requests keep the depth they started
+// with.
+func (c *Client) SetMaxInflight(n int) {
+	if n < 1 {
+		n = 0
+	}
+	c.maxInflight.Store(int32(n))
+}
+
+// inflightCap reports the current per-request segment pipelining depth.
+func (c *Client) inflightCap() int {
+	if n := c.maxInflight.Load(); n > 0 {
+		return int(n)
+	}
+	return clientMaxInflightSegments
+}
+
 // inParallel runs op over every segment with bounded concurrency and returns
 // per-segment completed byte counts plus the first error in segment order.
 func (f *RemoteFile) inParallel(segs []segment, op func(segment) (int, error)) ([]int, error) {
 	ns := make([]int, len(segs))
 	errs := make([]error, len(segs))
-	sem := make(chan struct{}, clientMaxInflightSegments)
+	sem := make(chan struct{}, f.c.inflightCap())
 	var wg sync.WaitGroup
 	for i, s := range segs {
 		wg.Add(1)
