@@ -39,17 +39,17 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 0.5s .
 
 # bench-baseline regenerates the committed CI baseline from the data-path
-# microbenchmarks plus the prefetch/prewarm pipeline benchmarks. -cpu 4 pins
-# GOMAXPROCS so benchmark names (and the stripped-suffix keys benchjson
-# compares on) are machine-independent; -benchtime 2s keeps run-to-run noise
-# well under the 20% regression gate.
+# microbenchmarks plus the prefetch/prewarm pipeline and sub-cluster
+# cold-boot benchmarks. -cpu 4 pins GOMAXPROCS so benchmark names (and the
+# stripped-suffix keys benchjson compares on) are machine-independent;
+# -benchtime 2s keeps run-to-run noise well under the 20% regression gate.
 bench-baseline:
 	( $(GO) test -run xxx \
-		-bench 'WarmRead|ColdFill|RoundTrip|PipelinedRead|SequentialColdRead' \
+		-bench 'WarmRead|ColdFill|RoundTrip|PipelinedRead|SequentialColdRead|ServerRead4K' \
 		-benchmem -benchtime 2s -cpu 4 ./internal/qcow/ ./internal/rblock/ ; \
-	  $(GO) test -run xxx -bench 'ProfileWarm' \
+	  $(GO) test -run xxx -bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead' \
 		-benchmem -benchtime 2s -cpu 4 . ) \
-		| $(GO) run ./cmd/benchjson -out BENCH_pr4.json
+		| $(GO) run ./cmd/benchjson -out BENCH_pr5.json
 
 coverage:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -13,6 +13,14 @@
 // A regression is a benchmark present in both runs whose ns/op grew by more
 // than -max-regress (fraction) and whose name matches -match (all benchmarks
 // when empty). Missing or new benchmarks never fail the gate.
+//
+// Custom b.ReportMetric units (e.g. "base-MB", "amplification") are captured
+// into a metrics map; a second, independent gate compares one such metric:
+//
+//	-metric-bench SubclusterColdBoot -metric base-MB -metric-max-regress 0.1
+//
+// fails when the named metric grew by more than the fraction on any matching
+// benchmark present in both runs.
 package main
 
 import (
@@ -33,6 +41,10 @@ type Benchmark struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	// Metrics holds custom b.ReportMetric values by unit name
+	// ("amplification", "base-MB", ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the JSON document benchjson reads and writes.
@@ -45,6 +57,9 @@ func main() {
 	baseline := flag.String("baseline", "", "compare ns/op against this JSON baseline (missing file skips the gate)")
 	match := flag.String("match", "", "regexp of benchmark names the regression gate applies to (empty = all)")
 	maxRegress := flag.Float64("max-regress", 0.2, "maximum tolerated ns/op growth as a fraction")
+	metricBench := flag.String("metric-bench", "", "regexp of benchmark names the custom-metric gate applies to (empty disables that gate)")
+	metric := flag.String("metric", "", "custom metric unit the -metric-bench gate compares (e.g. base-MB)")
+	metricMaxRegress := flag.Float64("metric-max-regress", 0.1, "maximum tolerated growth of -metric as a fraction")
 	flag.Parse()
 
 	var matchRe *regexp.Regexp
@@ -54,6 +69,17 @@ func main() {
 			fail("-match: %v", err)
 		}
 		matchRe = re
+	}
+	var metricRe *regexp.Regexp
+	if *metricBench != "" {
+		if *metric == "" {
+			fail("-metric-bench needs -metric")
+		}
+		re, err := regexp.Compile(*metricBench)
+		if err != nil {
+			fail("-metric-bench: %v", err)
+		}
+		metricRe = re
 	}
 
 	// Load the baseline before writing -out: both flags may name one path.
@@ -117,6 +143,36 @@ func main() {
 	if regressed {
 		fail("ns/op regressed more than %.0f%% against %s", 100**maxRegress, *baseline)
 	}
+
+	if metricRe == nil {
+		return
+	}
+	metricRegressed := false
+	for _, b := range fresh.Benchmarks {
+		if !metricRe.MatchString(b.Name) {
+			continue
+		}
+		old, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		oldV, okOld := old.Metrics[*metric]
+		newV, okNew := b.Metrics[*metric]
+		if !okOld || !okNew || oldV <= 0 {
+			continue
+		}
+		growth := newV/oldV - 1
+		status := "ok"
+		if growth > *metricMaxRegress {
+			status = "REGRESSION"
+			metricRegressed = true
+		}
+		fmt.Printf("%-60s %12.3f -> %12.3f %s  %+6.1f%%  %s\n",
+			b.Name, oldV, newV, *metric, 100*growth, status)
+	}
+	if metricRegressed {
+		fail("%s regressed more than %.0f%% against %s", *metric, 100**metricMaxRegress, *baseline)
+	}
 }
 
 func fail(format string, args ...any) {
@@ -159,6 +215,12 @@ func parse(f *os.File) File {
 				b.BytesPerOp = v
 			case "allocs/op":
 				b.AllocsPerOp = v
+			default:
+				// A custom b.ReportMetric unit.
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[fields[i+1]] = v
 			}
 		}
 		if seen {

@@ -80,10 +80,10 @@ func (m *Manager) corWarm(base, tmpName string) error {
 	}
 	quota := m.cfg.Quota
 	if quota <= 0 {
-		quota = fullWarmQuota(baseSize, m.cb)
+		quota = fullWarmQuota(baseSize, m.cb, m.cfg.Subclusters)
 	}
 	tmpLoc := core.Locator{Store: storeName, Name: tmpName}
-	if err := core.CreateCache(m.ns, tmpLoc, baseLoc, baseSize, quota, m.cb); err != nil {
+	if err := core.CreateCacheSub(m.ns, tmpLoc, baseLoc, baseSize, quota, m.cb, m.cfg.Subclusters); err != nil {
 		return fmt.Errorf("cachemgr: creating cache for %s: %w", base, err)
 	}
 	chain, err := core.OpenChain(m.ns, tmpLoc, core.ChainOpts{WrapFile: m.warmWrap})
@@ -109,6 +109,15 @@ func (m *Manager) corWarm(base, tmpName string) error {
 	if err != nil {
 		chain.Close() //nolint:errcheck // already failing
 		return err
+	}
+	// Sub-cluster caches may hold partially valid clusters after a
+	// profile-guided warm; published caches must be fully completed, so
+	// flush the remainder before the container is closed and renamed.
+	if ci := chain.CacheImage(); ci != nil {
+		if err := ci.CompleteAll(); err != nil {
+			chain.Close() //nolint:errcheck // already failing
+			return fmt.Errorf("cachemgr: completing cache for %s: %w", base, err)
+		}
 	}
 	return chain.Close()
 }
@@ -206,12 +215,12 @@ func (m *Manager) publish(key string) error {
 // fullWarmQuota sizes a quota big enough to hold every data cluster of the
 // base plus all fill metadata (L2 tables, refcount blocks), so a whole-image
 // warm never trips the cache-full brake.
-func fullWarmQuota(size int64, cb int) int64 {
+func fullWarmQuota(size int64, cb int, sub bool) int64 {
 	cs := int64(1) << cb
 	clusters := ceilDiv(size, cs)
 	l2Tables := ceilDiv(clusters, cs/8)
 	refBlocks := ceilDiv(clusters, cs/2)
-	return qcow.MinCacheQuota(size, cb) + (clusters+l2Tables+refBlocks+8)*cs
+	return qcow.MinCacheQuotaSub(size, cb, sub) + (clusters+l2Tables+refBlocks+8)*cs
 }
 
 // fullSpans covers [0, size) in 1 MiB warm spans.

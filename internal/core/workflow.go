@@ -54,6 +54,13 @@ func CreateBase(ns *Namespace, loc Locator, size int64, clusterBits int, content
 // CreateCache performs step one of the §4.4 workflow: "gemu-img is invoked
 // with a cache quota and pointing to the base image as its backing file."
 func CreateCache(ns *Namespace, loc Locator, backing Locator, size, quota int64, clusterBits int) error {
+	return CreateCacheSub(ns, loc, backing, size, quota, clusterBits, false)
+}
+
+// CreateCacheSub is CreateCache with the sub-cluster extension optionally
+// enabled: misses in the resulting cache fill at 4 KiB granularity and rely
+// on background completion to converge to whole clusters.
+func CreateCacheSub(ns *Namespace, loc Locator, backing Locator, size, quota int64, clusterBits int, subclusters bool) error {
 	if clusterBits == 0 {
 		clusterBits = qcow.CacheClusterBits
 	}
@@ -70,6 +77,7 @@ func CreateCache(ns *Namespace, loc Locator, backing Locator, size, quota int64,
 		ClusterBits: clusterBits,
 		BackingFile: backingName(ns, loc, backing),
 		CacheQuota:  quota,
+		Subclusters: subclusters,
 	})
 	if err != nil {
 		f.Close() //nolint:errcheck

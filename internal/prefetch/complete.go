@@ -1,0 +1,78 @@
+package prefetch
+
+import "sync"
+
+// CompletionQueue is the scheduling half of background cluster completion: a
+// bounded FIFO of cluster indices with duplicate suppression and a doorbell,
+// shared by the fill path (producers, must never block) and the completion
+// workers (consumers). Pairing it with a Budget bounds the bytes completion
+// keeps in flight, exactly as the readahead engine bounds prefetch.
+type CompletionQueue struct {
+	mu     sync.Mutex
+	queued map[int64]struct{}
+	fifo   []int64
+	cap    int
+	bell   chan struct{}
+}
+
+// NewCompletionQueue returns a queue holding at most capacity pending
+// clusters.
+func NewCompletionQueue(capacity int) *CompletionQueue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &CompletionQueue{
+		queued: make(map[int64]struct{}, capacity),
+		cap:    capacity,
+		bell:   make(chan struct{}, 1),
+	}
+}
+
+// Push schedules a cluster for completion. It never blocks: a full queue
+// refuses (false) and the caller counts a drop. Re-pushing an already
+// scheduled cluster is an accepted no-op.
+func (q *CompletionQueue) Push(vc int64) bool {
+	q.mu.Lock()
+	if _, dup := q.queued[vc]; dup {
+		q.mu.Unlock()
+		return true
+	}
+	if len(q.fifo) >= q.cap {
+		q.mu.Unlock()
+		return false
+	}
+	q.queued[vc] = struct{}{}
+	q.fifo = append(q.fifo, vc)
+	q.mu.Unlock()
+	select {
+	case q.bell <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Pop removes the oldest pending cluster; ok is false when the queue is
+// empty.
+func (q *CompletionQueue) Pop() (vc int64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.fifo) == 0 {
+		return 0, false
+	}
+	vc = q.fifo[0]
+	q.fifo = q.fifo[1:]
+	delete(q.queued, vc)
+	return vc, true
+}
+
+// Wait returns the doorbell channel: it receives after a Push into an empty
+// queue. Consumers select on it alongside their stop channel, then drain
+// with Pop.
+func (q *CompletionQueue) Wait() <-chan struct{} { return q.bell }
+
+// Len reports the pending cluster count.
+func (q *CompletionQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.fifo)
+}

@@ -27,4 +27,14 @@ var (
 	// one at a time.
 	ErrPrefetchNotCache = errors.New("qcow: prefetch requires a cache image")
 	ErrPrefetchEnabled  = errors.New("qcow: prefetch already enabled")
+
+	// Sub-cluster extension errors. Partial fills only make sense for
+	// cache images (guest writes never reach them), and the cluster must
+	// be larger than one sub-cluster.
+	ErrSubclusterNotCache = errors.New("qcow: subclusters require a cache image")
+	ErrSubclusterBits     = errors.New("qcow: cluster too small for subclusters")
+
+	// Completion attachment errors, mirroring the prefetch pair.
+	ErrNoSubclusters     = errors.New("qcow: completion requires the subcluster extension")
+	ErrCompletionEnabled = errors.New("qcow: completion already enabled")
 )

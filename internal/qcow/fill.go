@@ -1,6 +1,7 @@
 package qcow
 
 import (
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -28,11 +29,16 @@ type fill struct {
 	claimed  int64 // clusters claimed [vc, vc+claimed)
 	fetched  int64 // clusters actually fetched into buf (set by the leader)
 	prefetch bool  // led by the readahead engine (set by the leader before leadFill)
-	buf      []byte
-	err      error
-	done     chan struct{}
-	refs     atomic.Int32
-	pool     *bufPool
+	// reqOff/reqEnd is the leader's guest request extent (bytes); in
+	// sub-cluster mode it bounds the synchronous fetch to the sub-clusters
+	// the guest actually asked for. Zero means "whole run" (prefetch and
+	// completion fills).
+	reqOff, reqEnd int64
+	buf            []byte
+	err            error
+	done           chan struct{}
+	refs           atomic.Int32
+	pool           *bufPool
 }
 
 // release drops one reference; the last reference recycles the buffer.
@@ -114,6 +120,13 @@ func (img *Image) leadFill(f *fill, backing BlockSource) {
 		img.unclaim(f)
 		close(f.done)
 	}()
+	if img.sub != nil && !f.prefetch && f.reqEnd > 0 {
+		// Sub-cluster mode: a demand miss fetches only the sub-clusters
+		// the guest asked for. Prefetch fills keep fetching whole
+		// clusters — readahead wants the full window anyway.
+		img.leadFillSub(f, backing, start)
+		return
+	}
 	cs := img.ly.clusterSize
 
 	// Re-validate under the read lock: the run was observed unallocated
@@ -188,6 +201,12 @@ func (img *Image) leadFill(f *fill, backing BlockSource) {
 			if err == nil {
 				err = backend.WriteFull(img.f, buf[i*cs:(i+1)*cs], dataOff)
 			}
+			if err == nil && img.sub != nil {
+				// Whole-cluster fill: the cluster is fully valid.
+				// Bits persist before the bind so a crash tears
+				// into a state Check detects.
+				err = img.subMarkFull(f.vc + i)
+			}
 			if err == nil {
 				err = img.bindCluster(&m, dataOff)
 			}
@@ -222,6 +241,130 @@ func (img *Image) leadFill(f *fill, backing BlockSource) {
 	f.buf = buf
 }
 
+// leadFillSub is the leader's side of a demand fill in sub-cluster mode.
+// Allocation stays whole-cluster (so the §4.3 quota accounting is unchanged)
+// but only the sub-cluster-aligned extent of the guest request is fetched
+// from the backing source and marked valid; the background completer tops
+// the clusters up later. Waiters always re-translate — f.fetched stays 0
+// because the fetched buffer is not cluster-aligned. Per cluster the order
+// is data write, bitmap persist, L2 bind, so a crash tears into a state
+// qcow.Check detects.
+func (img *Image) leadFillSub(f *fill, backing BlockSource, start time.Time) {
+	s := img.sub
+	cs := img.ly.clusterSize
+
+	// Re-validate under the read lock, exactly as leadFill does.
+	img.mu.RLock()
+	rl := runLookup{img: img}
+	want := int64(0)
+	for want < f.claimed {
+		m, err := rl.lookup(f.vc + want)
+		if err != nil {
+			img.mu.RUnlock()
+			f.err = err
+			return
+		}
+		if m.dataOff != 0 {
+			break
+		}
+		want++
+	}
+	fit := want
+	if fit > 0 {
+		fit = img.quotaFit(f.vc, want)
+	}
+	usedSnap := img.usedBytes()
+	img.mu.RUnlock()
+	if want == 0 {
+		return // run got filled before we claimed it; waiters retry
+	}
+	if fit == 0 {
+		img.mu.Lock()
+		if !img.cacheFull {
+			img.cacheFull = true
+			img.stats.CacheFullEvents.Add(1)
+		}
+		img.mu.Unlock()
+		return
+	}
+
+	// One backing fetch for the sub-cluster-aligned request extent inside
+	// the admitted run, clamped to the virtual size.
+	fetchStart := maxI64(f.vc*cs, f.reqOff&^(s.subSize-1))
+	fetchEnd := minI64((f.vc+fit)*cs, (f.reqEnd+s.subSize-1)&^(s.subSize-1))
+	if fetchStart >= fetchEnd {
+		return // quota truncated the run below the request; pass through
+	}
+	readLen := minI64(fetchEnd, s.size) - fetchStart
+	buf := img.sbuf.get(int(fetchEnd - fetchStart))
+	clear(buf[readLen:])
+	if err := img.readBacking(backing, buf[:readLen], fetchStart); err != nil {
+		img.sbuf.put(buf)
+		f.err = err
+		return
+	}
+
+	img.mu.Lock()
+	final := fit
+	if img.usedBytes() != usedSnap {
+		final = img.quotaFit(f.vc, fit)
+	}
+	var nsubs, written int64
+	for i := int64(0); i < final; i++ {
+		vc := f.vc + i
+		c0 := vc * cs
+		o0, o1 := maxI64(c0, fetchStart), minI64(c0+cs, fetchEnd)
+		if o0 >= o1 {
+			break // defensive: every claimed cluster intersects the request
+		}
+		m, err := img.ensureL2(vc)
+		var dataOff int64
+		if err == nil {
+			dataOff, err = img.allocCluster(false)
+		}
+		if err == nil {
+			err = backend.WriteFull(img.f, buf[o0-fetchStart:o1-fetchStart], dataOff+(o0-c0))
+		}
+		if err == nil {
+			mask := s.maskRange(o0-c0, o1-c0) & s.fullMask(vc)
+			nsubs += int64(bits.OnesCount64(mask))
+			_, err = img.publishSubBits(vc, mask)
+		}
+		if err == nil {
+			err = img.bindCluster(&m, dataOff)
+		}
+		if err != nil {
+			img.mu.Unlock()
+			img.sbuf.put(buf)
+			f.err = err
+			return
+		}
+		written += o1 - o0
+	}
+	if final < want && !img.cacheFull {
+		img.cacheFull = true
+		img.stats.CacheFullEvents.Add(1)
+	}
+	img.stats.CacheFillOps.Add(final)
+	img.stats.CacheFillBytes.Add(minI64(written, readLen))
+	img.stats.SubclusterFills.Add(nsubs)
+	img.mu.Unlock()
+	img.sbuf.put(buf)
+	for i := int64(0); i < final; i++ {
+		if !s.isFull(f.vc + i) {
+			img.notifyCompleter(f.vc + i)
+		}
+	}
+	img.stats.FillLatency.Observe(time.Since(start).Nanoseconds())
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // fillRun serves span (starting at guest offset pos, lying inside the
 // unallocated run [vc, vc+run)) through the fill singleflight. It returns
 // how many bytes of span were served; a short count means the caller must
@@ -234,6 +377,7 @@ func (img *Image) fillRun(vc, run, pos int64, span []byte, backing BlockSource) 
 	// hold exactly one buffer reference; the last release recycles f.buf.
 	defer f.release()
 	if leader {
+		f.reqOff, f.reqEnd = pos, pos+int64(len(span))
 		img.leadFill(f, backing)
 	} else {
 		img.stats.FillWaits.Add(1)

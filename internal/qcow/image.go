@@ -70,6 +70,17 @@ type Stats struct {
 	PrefetchWastedBytes atomic.Int64
 	PrefetchDropped     atomic.Int64
 	PrefetchCancelled   atomic.Int64
+
+	// Sub-cluster fill effectiveness (sub.go, complete.go).
+	// SubclusterFills counts sub-clusters written by demand partial
+	// fills; SubclusterCompletions counts sub-clusters topped up by the
+	// background completer; SubclusterPartialHits counts reads served
+	// from a partially-valid cluster; SubclusterDropped counts completion
+	// requests refused by the queue or budget.
+	SubclusterFills       atomic.Int64
+	SubclusterCompletions atomic.Int64
+	SubclusterPartialHits atomic.Int64
+	SubclusterDropped     atomic.Int64
 }
 
 // CreateOpts parameterises image creation, mirroring qemu-img's knobs plus
@@ -90,6 +101,12 @@ type CreateOpts struct {
 	// CacheQuota, when non-zero, creates a cache image limited to this
 	// many bytes of physical file size (§4.3 create).
 	CacheQuota int64
+
+	// Subclusters adds the sub-cluster validity bitmap (sub.go): cold
+	// misses fill at sub-cluster instead of cluster granularity. Cache
+	// images only, and the cluster must be larger than one sub-cluster
+	// (ClusterBits > SubclusterBits).
+	Subclusters bool
 }
 
 // OpenOpts parameterises opening an image.
@@ -160,6 +177,15 @@ type Image struct {
 	// and Close/detach clears it.
 	pf atomic.Pointer[Prefetcher]
 
+	// sub tracks per-sub-cluster validity when the image carries the
+	// sub-cluster extension; nil keeps whole-cluster semantics. Immutable
+	// after Create/Open.
+	sub *subState
+
+	// cp is the attached background completer (complete.go), nil when
+	// completion is off; same CAS lifecycle as pf.
+	cp atomic.Pointer[Completer]
+
 	stats Stats
 }
 
@@ -168,18 +194,24 @@ type Image struct {
 // refcount table and first block, L1 table) counts against the quota, so
 // anything smaller is rejected by Create.
 func MinCacheQuota(size int64, clusterBits int) int64 {
+	return MinCacheQuotaSub(size, clusterBits, false)
+}
+
+// MinCacheQuotaSub is MinCacheQuota for images created with (or without) the
+// sub-cluster extension, whose bitmap table also counts as initial metadata.
+func MinCacheQuotaSub(size int64, clusterBits int, subclusters bool) int64 {
 	if clusterBits == 0 {
 		clusterBits = DefaultClusterBits
 	}
 	ly := newLayout(uint32(clusterBits))
-	_, _, _, metaClusters := createLayout(ly, size)
+	_, _, _, _, metaClusters := createLayout(ly, size, subclusters)
 	return metaClusters * ly.clusterSize
 }
 
 // createLayout computes the initial file layout for a new image: refcount
-// table offset, first refcount block offset, L1 offset, and the total
-// metadata cluster count.
-func createLayout(ly layout, size int64) (refTableOff, firstRefBlockOff, l1Off, metaClusters int64) {
+// table offset, first refcount block offset, L1 offset, the sub-cluster
+// bitmap table offset (0 when absent), and the total metadata cluster count.
+func createLayout(ly layout, size int64, sub bool) (refTableOff, firstRefBlockOff, l1Off, subTableOff, metaClusters int64) {
 	l1Entries := ly.l1EntriesFor(size)
 	l1Clusters := ly.clustersFor(l1Entries * l1EntrySize)
 	maxClusters := ly.clustersFor(size) + l1Entries + l1Clusters + 1024
@@ -189,7 +221,11 @@ func createLayout(ly layout, size int64) (refTableOff, firstRefBlockOff, l1Off, 
 	firstRefBlockOff = refTableOff + refTableClusters*ly.clusterSize
 	l1Off = firstRefBlockOff + ly.clusterSize
 	metaClusters = 1 + refTableClusters + 1 + l1Clusters
-	return refTableOff, firstRefBlockOff, l1Off, metaClusters
+	if sub {
+		subTableOff = l1Off + l1Clusters*ly.clusterSize
+		metaClusters += subTableClusters(ly, size)
+	}
+	return refTableOff, firstRefBlockOff, l1Off, subTableOff, metaClusters
 }
 
 // Create initialises a new image in f and returns it opened read-write.
@@ -204,15 +240,24 @@ func Create(f backend.File, opts CreateOpts) (*Image, error) {
 	if opts.Size <= 0 {
 		return nil, ErrBadSize
 	}
+	if opts.Subclusters {
+		if opts.CacheQuota <= 0 {
+			return nil, ErrSubclusterNotCache
+		}
+		if uint32(cb) <= subBitsFor(uint32(cb)) {
+			return nil, ErrSubclusterBits
+		}
+	}
 	ly := newLayout(uint32(cb))
 	l1Entries := ly.l1EntriesFor(opts.Size)
 
 	// Layout: [0] header | [1..rt] refcount table | [rt+1] first
-	// refcount block | then L1 table clusters. The refcount table covers
-	// the virtual size plus all possible metadata (one L2 table per L1
-	// entry) and a margin, so it rarely needs relocation; relocation is
-	// still implemented for correctness.
-	refTableOff, firstRefBlockOff, l1Off, metaClusters := createLayout(ly, opts.Size)
+	// refcount block | then L1 table clusters (then the sub-cluster
+	// bitmap table, when enabled). The refcount table covers the virtual
+	// size plus all possible metadata (one L2 table per L1 entry) and a
+	// margin, so it rarely needs relocation; relocation is still
+	// implemented for correctness.
+	refTableOff, firstRefBlockOff, l1Off, subTableOff, metaClusters := createLayout(ly, opts.Size, opts.Subclusters)
 	refTableClusters := (firstRefBlockOff - refTableOff) / ly.clusterSize
 
 	hdr := &Header{
@@ -233,6 +278,12 @@ func Create(f backend.File, opts CreateOpts) (*Image, error) {
 		if opts.CacheQuota < metaClusters*ly.clusterSize {
 			return nil, ErrQuotaTooSmall
 		}
+	}
+	if opts.Subclusters {
+		hdr.HasSubExt = true
+		hdr.SubBits = subBitsFor(uint32(cb))
+		hdr.SubTableOffset = uint64(subTableOff)
+		hdr.IncompatFeatures |= IncompatSubclusters
 	}
 
 	hdrBuf, err := hdr.encode(ly.clusterSize)
@@ -256,6 +307,9 @@ func Create(f backend.File, opts CreateOpts) (*Image, error) {
 		nextFree: metaClusters,
 		isCache:  hdr.IsCache(),
 		quota:    opts.CacheQuota,
+	}
+	if opts.Subclusters {
+		img.sub = newSubState(hdr, ly)
 	}
 
 	// Install the first refcount block and account all metadata clusters.
@@ -348,6 +402,15 @@ func Open(f backend.File, opts OpenOpts) (*Image, error) {
 	}
 	for i := range img.refTable {
 		img.refTable[i] = binary.BigEndian.Uint64(rtbuf[i*8:])
+	}
+	if hdr.HasSubExt {
+		img.sub = newSubState(hdr, ly)
+		if img.sub.tableOff+img.sub.clusters*8 > sz {
+			return nil, fmt.Errorf("%w: subcluster table beyond end of file", ErrCorrupt)
+		}
+		if err := img.sub.load(f); err != nil {
+			return nil, fmt.Errorf("qcow: reading subcluster table: %w", err)
+		}
 	}
 	// A cache image that was filled to (or near) quota in a previous run
 	// resumes in the "stop filling" state when it cannot take one more
@@ -466,11 +529,15 @@ func (img *Image) Close() error {
 	}
 	img.closed = true
 	img.mu.Unlock()
-	// Stop the readahead engine before draining: its workers register on
-	// readers like any data-path user, and new work they would pick up
-	// after the closed flip would only fail enterRead anyway.
+	// Stop the readahead engine and the completer before draining: their
+	// workers register on readers like any data-path user, and new work
+	// they would pick up after the closed flip would only fail enterRead
+	// anyway.
 	if pf := img.pf.Load(); pf != nil {
 		pf.Close()
+	}
+	if cp := img.cp.Load(); cp != nil {
+		cp.Close()
 	}
 	img.readers.Wait()
 	if !img.ro {

@@ -58,6 +58,22 @@ func (img *Image) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
 	r.CounterFunc("vmicache_qcow_prefetch_cancelled_total",
 		"Queued readahead invalidated by stream divergence before filling.",
 		labels, s.PrefetchCancelled.Load)
+	r.CounterFunc("vmicache_qcow_subcluster_fills_total",
+		"Sub-clusters written by demand partial fills.", labels, s.SubclusterFills.Load)
+	r.CounterFunc("vmicache_qcow_subcluster_completions_total",
+		"Sub-clusters topped up by the background completer.", labels, s.SubclusterCompletions.Load)
+	r.CounterFunc("vmicache_qcow_subcluster_partial_hits_total",
+		"Guest reads served from a partially-valid cluster.", labels, s.SubclusterPartialHits.Load)
+	r.CounterFunc("vmicache_qcow_subcluster_dropped_total",
+		"Completion requests refused by the queue or byte budget.", labels, s.SubclusterDropped.Load)
+	r.GaugeFunc("vmicache_qcow_completion_inflight_bytes",
+		"Bytes of background completion currently queued or in flight.", labels,
+		func() int64 {
+			if cp := img.cp.Load(); cp != nil {
+				return cp.InFlight()
+			}
+			return 0
+		})
 	r.GaugeFunc("vmicache_qcow_prefetch_inflight_bytes",
 		"Bytes of readahead currently queued or being filled (prefetch depth).", labels,
 		func() int64 {

@@ -84,6 +84,23 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 			}
 			done += want
 		case m.dataOff != 0:
+			if s := img.sub; s != nil && !s.isFull(vc) {
+				// Partially-valid cluster: serve sub-cluster-wise,
+				// demand-filling missing sub-clusters in place.
+				// Fully-valid clusters never reach here — the full
+				// bit keeps the warm path below allocation-free.
+				backing := img.backing
+				fillable := img.isCache && !img.ro
+				img.mu.RUnlock()
+				served, err := img.subReadPartial(vc, pos, seg, m.dataOff, backing, fillable)
+				if err != nil {
+					return done, err
+				}
+				// served == 0 means a fill changed the validity
+				// picture: loop around and re-translate.
+				done += served
+				continue
+			}
 			// Coalesce physically contiguous allocated clusters
 			// into one container read: cache fills allocate in
 			// guest-read order, so warm reads are mostly one
@@ -95,7 +112,8 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 					img.mu.RUnlock()
 					return done, err
 				}
-				if mm.compressed || mm.dataOff != m.dataOff+run*img.ly.clusterSize {
+				if mm.compressed || mm.dataOff != m.dataOff+run*img.ly.clusterSize ||
+					(img.sub != nil && !img.sub.isFull(vc+run)) {
 					break
 				}
 				run++

@@ -72,3 +72,23 @@ func BenchmarkPipelinedRead(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServerRead4K measures the small-read round trip that dominates
+// sub-cluster demand fills (4 KiB exact-length segments). Loopback runs both
+// ends in-process, so allocs/op covers the server's request handling too: the
+// pooled reply buffers must keep the steady-state read path free of per-
+// request payload allocations.
+func BenchmarkServerRead4K(b *testing.B) {
+	const span = 4 << 10
+	rf := newBenchPair(b, 64<<20)
+	buf := make([]byte, span)
+	b.SetBytes(span)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * span) % (32 << 20)
+		if _, err := rf.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package rblock
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// wrappedEOFStore wraps a store so its files return a *wrapped* io.EOF, as
+// layered backends (counting wrappers, chains) do. The server must classify
+// EOF with errors.Is, not by comparing error strings.
+type wrappedEOFStore struct{ inner backend.Store }
+
+func (s wrappedEOFStore) Open(name string, ro bool) (backend.File, error) {
+	f, err := s.inner.Open(name, ro)
+	if err != nil {
+		return nil, err
+	}
+	return wrappedEOFFile{f}, nil
+}
+func (s wrappedEOFStore) Create(name string) (backend.File, error) { return s.inner.Create(name) }
+func (s wrappedEOFStore) Remove(name string) error                 { return s.inner.Remove(name) }
+func (s wrappedEOFStore) Stat(name string) (int64, error)          { return s.inner.Stat(name) }
+
+type wrappedEOFFile struct{ backend.File }
+
+func (f wrappedEOFFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.File.ReadAt(p, off)
+	if errors.Is(err, io.EOF) {
+		err = fmt.Errorf("layered read at %d: %w", off, io.EOF)
+	}
+	return n, err
+}
+
+// TestRemoteReadAtEOFBoundaries pins down RemoteFile.ReadAt semantics around
+// the end of a non-rwsize-aligned image: exact-length tails succeed, reads
+// crossing the end return the short count with io.EOF, and reads wholly past
+// the end return (0, io.EOF) — the contract the sub-cluster fill path relies
+// on for its exact-length partial fetches near the image end.
+func TestRemoteReadAtEOFBoundaries(t *testing.T) {
+	const (
+		rwsize = 4096
+		size   = 100000 // deliberately not a multiple of rwsize
+	)
+	pat := make([]byte, size)
+	for i := range pat {
+		pat[i] = byte(i*31 + 7)
+	}
+
+	run := func(t *testing.T, store backend.Store) {
+		f, err := store.Create("img")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := backend.WriteFull(f, pat, 0); err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(store, ServerOpts{RWSize: rwsize})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+		c := dial(t, addr, rwsize)
+		rf, err := c.Open("img", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cases := []struct {
+			name    string
+			off     int64
+			len     int
+			wantN   int
+			wantEOF bool
+		}{
+			{"interior single segment", 0, rwsize, rwsize, false},
+			{"interior multi segment", 8192, 3 * rwsize, 3 * rwsize, false},
+			{"exact end aligned", size - rwsize, rwsize, rwsize, false},
+			{"exact end short tail", size - 1696, 1696, 1696, false},
+			{"exact end multi segment", size - 2*rwsize, 2 * rwsize, 2 * rwsize, false},
+			{"cross end single segment", size - 1000, rwsize, 1000, true},
+			{"cross end multi segment", size - 9888, 4 * rwsize, 9888, true},
+			{"cross end one byte", size - 1, 2, 1, true},
+			{"wholly past end", size, rwsize, 0, true},
+			{"far past end", size + 1<<20, rwsize, 0, true},
+			{"zero length", 0, 0, 0, false},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				buf := make([]byte, tc.len)
+				n, err := rf.ReadAt(buf, tc.off)
+				if n != tc.wantN {
+					t.Fatalf("n = %d, want %d (err %v)", n, tc.wantN, err)
+				}
+				if tc.wantEOF {
+					if !errors.Is(err, io.EOF) {
+						t.Fatalf("err = %v, want io.EOF", err)
+					}
+				} else if err != nil {
+					t.Fatalf("err = %v, want nil", err)
+				}
+				if n > 0 && !bytes.Equal(buf[:n], pat[tc.off:tc.off+int64(n)]) {
+					t.Fatal("data mismatch")
+				}
+				// Exact-length tails must satisfy ReadFull, the form the
+				// qcow fill path uses for sub-cluster fetches.
+				if !tc.wantEOF && tc.len > 0 {
+					full := make([]byte, tc.len)
+					if err := backend.ReadFull(rf, full, tc.off); err != nil {
+						t.Fatalf("ReadFull: %v", err)
+					}
+				}
+			})
+		}
+	}
+
+	t.Run("plain store", func(t *testing.T) { run(t, backend.NewMemStore()) })
+	// The same contract must hold when the server-side file wraps io.EOF —
+	// the regression the old string-comparison classification had.
+	t.Run("wrapped EOF store", func(t *testing.T) {
+		run(t, wrappedEOFStore{inner: backend.NewMemStore()})
+	})
+}

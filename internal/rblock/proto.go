@@ -111,6 +111,11 @@ type frame struct {
 	offset  uint64
 	aux     uint64
 	payload []byte
+
+	// pooled, when non-nil, is the pool-owned backing array of payload; the
+	// writer returns it to the server's buffer pool after the frame has been
+	// serialised. Never sent on the wire.
+	pooled *[]byte
 }
 
 // writeFrame serialises f to w.

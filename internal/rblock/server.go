@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sort"
@@ -117,6 +118,12 @@ type Server struct {
 	rwsize int
 	stats  serverCounters
 
+	// bufPool recycles OpRead reply buffers (rwsize bytes each) across
+	// requests, so a busy read stream allocates no payload buffers in
+	// steady state. Buffers are returned once the reply frame has been
+	// copied onto the connection.
+	bufPool sync.Pool
+
 	mu       sync.Mutex
 	ln       net.Listener
 	closed   bool
@@ -155,6 +162,10 @@ func NewServer(store backend.Store, opts ServerOpts) *Server {
 		readOnly: opts.ReadOnly,
 	}
 	srv.stats.perImage = make(map[string]*imageCounters)
+	srv.bufPool.New = func() any {
+		b := make([]byte, rw)
+		return &b
+	}
 	return srv
 }
 
@@ -360,7 +371,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		req, err := readFrame(br)
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
 				s.logf("rblock: conn read: %v", err)
 			}
 			return
@@ -380,6 +392,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				err = bw.Flush()
 			}
 			wmu.Unlock()
+			if resp.pooled != nil {
+				// The payload has been copied onto the wire (or the
+				// connection is dead); recycle the reply buffer.
+				s.bufPool.Put(resp.pooled)
+				resp.pooled = nil
+			}
 			if err != nil {
 				s.logf("rblock: conn write: %v", err)
 				conn.Close() //nolint:errcheck // unblocks the read loop
@@ -427,11 +445,14 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if !ok || req.aux == 0 || req.aux > uint64(s.rwsize) {
 			return fail(StatusBadRequest)
 		}
-		buf := make([]byte, req.aux)
+		bp := s.bufPool.Get().(*[]byte)
+		buf := (*bp)[:req.aux]
 		n, err := oh.f.ReadAt(buf, int64(req.offset))
-		if err != nil && n == 0 && err.Error() != "EOF" {
+		if err != nil && n == 0 && !errors.Is(err, io.EOF) {
+			s.bufPool.Put(bp)
 			return fail(StatusIO)
 		}
+		resp.pooled = bp
 		resp.payload = buf[:n]
 		s.stats.readOps.Add(1)
 		s.stats.bytesRead.Add(int64(n))
