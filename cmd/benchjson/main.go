@@ -10,9 +10,10 @@
 // can serve as both: CI compares the fresh run against the committed file,
 // then uploads the fresh file as the artifact for the next update.
 //
-// A regression is a benchmark present in both runs whose ns/op grew by more
-// than -max-regress (fraction) and whose name matches -match (all benchmarks
-// when empty). Missing or new benchmarks never fail the gate.
+// A regression is a benchmark present in both runs whose ns/op grew — or,
+// for throughput benchmarks reporting MB/s in both runs, whose MB/s fell —
+// by more than -max-regress (fraction) and whose name matches -match (all
+// benchmarks when empty). Missing or new benchmarks never fail the gate.
 //
 // Custom b.ReportMetric units (e.g. "base-MB", "amplification") are captured
 // into a metrics map; a second, independent gate compares one such metric:
@@ -139,9 +140,23 @@ func main() {
 		}
 		fmt.Printf("%-60s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
 			b.Name, old.NsPerOp, b.NsPerOp, 100*growth, status)
+		// Throughput benchmarks (b.SetBytes) also gate on MB/s: a drop
+		// larger than -max-regress fails even if ns/op moved within
+		// tolerance (larger IOs can hide a bandwidth regression behind a
+		// similar op latency).
+		if old.MBPerS > 0 && b.MBPerS > 0 {
+			drop := 1 - b.MBPerS/old.MBPerS
+			status = "ok"
+			if drop > *maxRegress {
+				status = "REGRESSION"
+				regressed = true
+			}
+			fmt.Printf("%-60s %12.1f -> %12.1f MB/s   %+6.1f%%  %s\n",
+				b.Name, old.MBPerS, b.MBPerS, 100*(b.MBPerS/old.MBPerS-1), status)
+		}
 	}
 	if regressed {
-		fail("ns/op regressed more than %.0f%% against %s", 100**maxRegress, *baseline)
+		fail("ns/op or MB/s regressed more than %.0f%% against %s", 100**maxRegress, *baseline)
 	}
 
 	if metricRe == nil {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rblockd [-addr HOST:PORT] [-dir DIR] [-rwsize N] [-ro] [-drain DUR]
-//	        [-metrics-addr HOST:PORT]
+//	        [-metrics-addr HOST:PORT] [-pprof-mutex-frac N] [-pprof-block-rate NS]
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting new
 // connections, drains in-flight requests up to -drain, prints its traffic
@@ -33,7 +33,10 @@ func main() {
 	ro := fs.Bool("ro", false, "export read-only")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
+	mutexFrac := fs.Int("pprof-mutex-frac", 0, "mutex contention sampling fraction (runtime.SetMutexProfileFraction); 0 disables")
+	blockRate := fs.Int("pprof-block-rate", 0, "blocking-event sampling rate in ns (runtime.SetBlockProfileRate); 0 disables")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+	metrics.SetProfileRates(*mutexFrac, *blockRate)
 
 	store, err := backend.NewDirStore(*dir)
 	if err != nil {

@@ -25,6 +25,8 @@
 //	-status DUR      periodic status print interval (0 = only on shutdown)
 //	-drain DUR       graceful-shutdown drain deadline
 //	-metrics-addr A  serve /metrics, /metrics.json and /debug/pprof on A
+//	-pprof-mutex-frac N   sample 1-in-N mutex contention events (0 = off)
+//	-pprof-block-rate NS  sample blocking events slower than NS ns (0 = off)
 //
 // A two-node warm handoff: start node A against the storage node and let it
 // warm, then start node B with -peers pointing at A — B pulls the published
@@ -64,7 +66,10 @@ func main() {
 	status := fs.Duration("status", 0, "periodic status interval (0 = only on shutdown)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
+	mutexFrac := fs.Int("pprof-mutex-frac", 0, "mutex contention sampling fraction (runtime.SetMutexProfileFraction); 0 disables")
+	blockRate := fs.Int("pprof-block-rate", 0, "blocking-event sampling rate in ns (runtime.SetBlockProfileRate); 0 disables")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+	metrics.SetProfileRates(*mutexFrac, *blockRate)
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "vmicached: "+format+"\n", args...)

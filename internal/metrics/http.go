@@ -4,8 +4,26 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 )
+
+// SetProfileRates turns on the runtime's contention profilers, feeding the
+// /debug/pprof/mutex and /debug/pprof/block endpoints already mounted by
+// Handler. mutexFrac is the 1-in-N mutex sampling fraction
+// (runtime.SetMutexProfileFraction); blockRate the blocking-event sampling
+// threshold in nanoseconds (runtime.SetBlockProfileRate). Zero or negative
+// values leave the corresponding profiler untouched (off by default —
+// sampling costs the hot paths real time, so daemons only enable it via
+// their -pprof-mutex-frac / -pprof-block-rate flags).
+func SetProfileRates(mutexFrac, blockRate int) {
+	if mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(mutexFrac)
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+}
 
 // Handler returns the observability mux a daemon mounts on its
 // -metrics-addr: the two exposition formats plus the standard pprof

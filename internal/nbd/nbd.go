@@ -88,6 +88,12 @@ type Server struct {
 	// Shutdown can drain them before tearing connections down.
 	activeReqs atomic.Int64
 
+	// bufPool recycles transmission payload buffers (read replies and
+	// inbound write payloads) across requests, so a busy device stream
+	// allocates no payload buffers in steady state. Requests larger than
+	// maxPooledBuf fall back to plain allocation.
+	bufPool sync.Pool
+
 	// Stats
 	ReadOps      atomic.Int64
 	WriteOps     atomic.Int64
@@ -120,6 +126,33 @@ func (s *Server) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
 // maxConcurrentPerConn bounds how many in-flight requests one connection may
 // have dispatched at once.
 const maxConcurrentPerConn = 16
+
+// maxPooledBuf caps the size of payload buffers kept in the pool: typical
+// guest I/O is well under 1 MiB, and pooling the occasional maxRequestLen
+// giant would pin tens of megabytes per idle connection.
+const maxPooledBuf = 1 << 20
+
+// getBuf returns a pooled payload buffer of length n (by pointer so
+// recycling does not allocate a box per put).
+func (s *Server) getBuf(n uint32) *[]byte {
+	if v := s.bufPool.Get(); v != nil {
+		bp := v.(*[]byte)
+		if cap(*bp) >= int(n) {
+			*bp = (*bp)[:n]
+			return bp
+		}
+		// Too small for this request: drop it and allocate bigger; the
+		// pool re-fills with right-sized buffers as they are returned.
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+func (s *Server) putBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		s.bufPool.Put(bp)
+	}
+}
 
 // NewServer returns an empty server.
 func NewServer(logf func(format string, args ...any)) *Server {
@@ -371,8 +404,8 @@ func (s *Server) optReply(conn net.Conn, opt, typ uint32, payload []byte) error 
 // payloads, which share the stream — are read sequentially, but device I/O
 // and replies overlap, so a parallel guest (or a pipelined client) is not
 // serialised by a slow read. Replies identify their request by NBD handle;
-// the reply header and read payload are written atomically under a
-// per-connection write mutex.
+// the reply header and read payload leave in ONE vectored write under a
+// per-connection write mutex — no payload copy, no second syscall.
 func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 	be := binary.BigEndian
 	var wmu sync.Mutex
@@ -380,13 +413,29 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 	defer wg.Wait()
 	sem := make(chan struct{}, maxConcurrentPerConn)
 
+	// Per-connection reply scratch, guarded by wmu. arr holds the stable
+	// header+payload iovec; wip is the consumable copy WriteTo advances, a
+	// field so no slice header escapes per reply.
+	rs := &struct {
+		hdr [16]byte
+		arr [2][]byte
+		wip net.Buffers
+	}{}
+
 	// reply writes one response frame (with optional payload) atomically;
 	// on error it tears the connection down to unblock the request reader.
 	reply := func(handle uint64, nbdErr uint32, payload []byte) {
 		wmu.Lock()
-		err := s.simpleReply(conn, handle, nbdErr)
-		if err == nil && len(payload) > 0 {
-			_, err = conn.Write(payload)
+		be.PutUint32(rs.hdr[0:], simpleReplyMagic)
+		be.PutUint32(rs.hdr[4:], nbdErr)
+		be.PutUint64(rs.hdr[8:], handle)
+		var err error
+		if len(payload) > 0 {
+			rs.arr[0], rs.arr[1] = rs.hdr[:], payload
+			rs.wip = rs.arr[:]
+			_, err = rs.wip.WriteTo(conn)
+		} else {
+			_, err = conn.Write(rs.hdr[:])
 		}
 		wmu.Unlock()
 		if err != nil {
@@ -429,7 +478,8 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 		switch cmd {
 		case cmdRead:
 			dispatch(func() {
-				buf := make([]byte, length)
+				bp := s.getBuf(length)
+				buf := *bp
 				var nbdErr uint32
 				if int64(offset)+int64(length) > exp.Device.Size() {
 					nbdErr = nbdEINVAL
@@ -442,14 +492,17 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 				}
 				s.BytesRead.Add(int64(len(buf)))
 				reply(handle, nbdErr, buf)
+				s.putBuf(bp) // reply copied the payload onto the wire
 			})
 
 		case cmdWrite:
-			buf := make([]byte, length)
-			if _, err := io.ReadFull(conn, buf); err != nil {
+			bp := s.getBuf(length)
+			if _, err := io.ReadFull(conn, *bp); err != nil {
+				s.putBuf(bp)
 				return err
 			}
 			dispatch(func() {
+				buf := *bp
 				var nbdErr uint32
 				switch {
 				case exp.ReadOnly:
@@ -465,6 +518,7 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 				}
 				s.WriteOps.Add(1)
 				reply(handle, nbdErr, nil)
+				s.putBuf(bp)
 			})
 
 		case cmdFlush:
@@ -488,14 +542,4 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 			reply(handle, nbdEINVAL, nil)
 		}
 	}
-}
-
-func (s *Server) simpleReply(conn net.Conn, handle uint64, nbdErr uint32) error {
-	be := binary.BigEndian
-	var rep [16]byte
-	be.PutUint32(rep[0:], simpleReplyMagic)
-	be.PutUint32(rep[4:], nbdErr)
-	be.PutUint64(rep[8:], handle)
-	_, err := conn.Write(rep[:])
-	return err
 }

@@ -8,6 +8,7 @@ package qcow_test
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -130,6 +131,99 @@ func BenchmarkParallelWarmRead(b *testing.B) {
 				}()
 			}
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkLargeWarmRead measures big sequential IOs over a warm cache —
+// the case the run-level extent translation exists for. A 256 KiB or 1 MiB
+// request spans hundreds of 512-byte cache clusters; the old per-cluster
+// loop took the metadata lock once per cluster, the extent path takes it
+// once per request. Warm large reads must stay allocation-free.
+func BenchmarkLargeWarmRead(b *testing.B) {
+	for _, span := range []int64{256 << 10, 1 << 20} {
+		span := span
+		name := fmt.Sprintf("%dKiB", span>>10)
+		if span >= 1<<20 {
+			name = fmt.Sprintf("%dMiB", span>>20)
+		}
+		b.Run(name, func(b *testing.B) {
+			cow := newChain(b)
+			buf := make([]byte, span)
+			for off := int64(0); off < 48<<20; off += span {
+				if _, err := cow.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(span)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (int64(i) * span) % (32 << 20)
+				if _, err := cow.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkContendedWarmRead measures small warm reads under heavy reader
+// concurrency — the sharded L2 cache's target load. Beyond throughput it
+// reports tail latency (p99-ns via ReportMetric), which a single flat cache
+// mutex inflates long before mean throughput shows it.
+func BenchmarkContendedWarmRead(b *testing.B) {
+	const span = 4 << 10
+	for _, g := range []int{16, 64} {
+		g := g
+		b.Run(fmt.Sprintf("goroutines-%d", g), func(b *testing.B) {
+			cow := newChain(b)
+			warm := make([]byte, 24<<10)
+			for off := int64(0); off < 8<<20; off += int64(len(warm)) {
+				if _, err := cow.ReadAt(warm, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bufs := make([][]byte, g)
+			for w := range bufs {
+				bufs[w] = make([]byte, span)
+			}
+			lat := make([]int64, b.N)
+			b.SetBytes(span)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				buf := bufs[w]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						off := (i * span) % (7 << 20)
+						t0 := time.Now()
+						if _, err := cow.ReadAt(buf, off); err != nil {
+							b.Error(err)
+							return
+						}
+						lat[i] = int64(time.Since(t0))
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			slices.Sort(lat)
+			if n := len(lat); n > 0 {
+				i := n * 99 / 100
+				if i >= n {
+					i = n - 1
+				}
+				b.ReportMetric(float64(lat[i]), "p99-ns")
+			}
 		})
 	}
 }

@@ -146,9 +146,12 @@ type Image struct {
 	fills  []*fill
 
 	// cbuf pools cluster-sized scratch buffers (CoW merges, metadata
-	// zeroing, L2 decodes); sbuf pools variable-length fill spans.
-	cbuf bufPool
-	sbuf bufPool
+	// zeroing, L2 decodes); sbuf pools variable-length fill spans; extPool
+	// pools the per-ReadAt mapped-extent slices (stored as *[]mappedExtent
+	// so recycling does not allocate).
+	cbuf    bufPool
+	sbuf    bufPool
+	extPool sync.Pool
 
 	// l1 is the in-memory L1 table (write-through).
 	l1 []uint64

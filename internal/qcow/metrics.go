@@ -1,6 +1,10 @@
 package qcow
 
-import "vmicache/internal/metrics"
+import (
+	"strconv"
+
+	"vmicache/internal/metrics"
+)
 
 // RegisterMetrics exposes the image's live Stats atomics on a metrics
 // registry. The instruments are sampled at scrape time from the same atomics
@@ -36,6 +40,14 @@ func (img *Image) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
 		"L2 translations served from the in-memory L2 cache.", labels, s.L2CacheHits.Load)
 	r.CounterFunc("vmicache_qcow_l2_cache_misses_total",
 		"L2 translations decoded from the container.", labels, s.L2CacheMisses.Load)
+	for i := range img.l2c.shards {
+		sh := &img.l2c.shards[i]
+		shl := labels.With("shard", strconv.Itoa(i))
+		r.CounterFunc("vmicache_qcow_l2_shard_hits_total",
+			"L2 cache probes served by this shard.", shl, sh.hits.Load)
+		r.CounterFunc("vmicache_qcow_l2_shard_misses_total",
+			"L2 cache probes that missed in this shard.", shl, sh.misses.Load)
+	}
 	r.CounterFunc("vmicache_qcow_compressed_clusters_total",
 		"Clusters written through WriteCompressedCluster.", labels, s.CompressedClusters.Load)
 	r.CounterFunc("vmicache_qcow_compressed_bytes_total",

@@ -18,11 +18,12 @@ import (
 // error: the image stops filling for the rest of its lifetime and serves all
 // further misses by pass-through.
 //
-// ReadAt is the concurrent fast path: each iteration translates under the
-// shared metadata lock, then performs the data I/O (container read, backing
-// pass-through, or singleflight fill) with no image lock held, so parallel
-// readers overlap their I/O and cold misses on distinct cluster runs fetch
-// from the backing source in parallel.
+// ReadAt is the concurrent fast path: the whole request is translated into a
+// mapped-extent slice under ONE acquisition of the shared metadata lock
+// (translateExtents), then every extent's data I/O (container read, backing
+// pass-through, or singleflight fill) runs with no image lock held, so
+// parallel readers overlap their I/O and cold misses on distinct cluster
+// runs fetch from the backing source in parallel.
 func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, ErrOutOfRange
@@ -47,132 +48,106 @@ func (img *Image) ReadAt(p []byte, off int64) (int, error) {
 		pf.observe(off, int64(n))
 	}
 
-	done := 0
-	for done < n {
-		pos := off + int64(done)
-		vc := pos / img.ly.clusterSize
-		inOff := pos % img.ly.clusterSize
-		want := n - done
-		if avail := int(img.ly.clusterSize - inOff); want > avail {
-			want = avail
-		}
-		seg := p[done : done+want]
-
-		// Translate under the shared lock; capture everything the I/O
-		// phase needs, then release before touching data. The runLookup
-		// memoizer lives within this one critical section only.
-		img.mu.RLock()
-		rl := runLookup{img: img}
-		m, err := rl.lookup(vc)
-		if err != nil {
-			img.mu.RUnlock()
-			return done, err
-		}
-		switch {
-		case m.dataOff != 0 && m.compressed:
-			img.mu.RUnlock()
-			data, err := img.readCompressed(m.dataOff)
-			if err != nil {
-				return done, err
-			}
-			copy(seg, data[inOff:])
-			if img.isCache {
-				// A compressed cluster is still a local hit: count it
-				// like the raw branch so the local/backing traffic
-				// ratio stays truthful for compressed caches.
-				img.stats.LocalBytes.Add(int64(want))
-			}
-			done += want
-		case m.dataOff != 0:
-			if s := img.sub; s != nil && !s.isFull(vc) {
-				// Partially-valid cluster: serve sub-cluster-wise,
-				// demand-filling missing sub-clusters in place.
-				// Fully-valid clusters never reach here — the full
-				// bit keeps the warm path below allocation-free.
-				backing := img.backing
-				fillable := img.isCache && !img.ro
-				img.mu.RUnlock()
-				served, err := img.subReadPartial(vc, pos, seg, m.dataOff, backing, fillable)
-				if err != nil {
-					return done, err
-				}
-				// served == 0 means a fill changed the validity
-				// picture: loop around and re-translate.
-				done += served
-				continue
-			}
-			// Coalesce physically contiguous allocated clusters
-			// into one container read: cache fills allocate in
-			// guest-read order, so warm reads are mostly one
-			// contiguous extent regardless of cluster size.
-			run := int64(1)
-			for (vc+run)*img.ly.clusterSize < off+int64(n) {
-				mm, err := rl.lookup(vc + run)
-				if err != nil {
-					img.mu.RUnlock()
-					return done, err
-				}
-				if mm.compressed || mm.dataOff != m.dataOff+run*img.ly.clusterSize ||
-					(img.sub != nil && !img.sub.isFull(vc+run)) {
-					break
-				}
-				run++
-			}
-			img.mu.RUnlock()
-			want = n - done
-			if avail := run*img.ly.clusterSize - inOff; int64(want) > avail {
-				want = int(avail)
-			}
-			seg = p[done : done+want]
-			// Bound clusters are never moved or freed, so this read
-			// needs no lock: the container serialises its own I/O.
-			if err := backend.ReadFull(img.f, seg, m.dataOff+inOff); err != nil {
-				return done, err
-			}
-			if img.isCache {
-				img.stats.LocalBytes.Add(int64(want))
-				if pf := img.pf.Load(); pf != nil {
-					pf.markRead(pos, int64(want))
-				}
-			}
-			done += want
-		case img.backing != nil:
-			// Coalesce the run of consecutive unallocated clusters
-			// covered by this request into ONE backing fetch — the
-			// request-sized read the remote file system actually
-			// sees. A cache image then fills each cluster of the
-			// run from the fetched (cluster-rounded) buffer.
-			backing := img.backing
-			fillable := img.isCache && !img.ro && !img.cacheFull
-			run, err := img.unallocatedRun(&rl, vc, off+int64(n))
-			if err != nil {
-				img.mu.RUnlock()
-				return done, err
-			}
-			img.mu.RUnlock()
-			spanEnd := minI64(off+int64(n), (vc+run)*img.ly.clusterSize)
-			span := p[done : int64(done)+spanEnd-pos]
-			if fillable {
-				served, err := img.fillRun(vc, run, pos, span, backing)
-				if err != nil {
-					return done, err
-				}
-				// served == 0 means the run was filled (or truncated)
-				// by a concurrent fill: loop around and re-translate.
-				done += served
-			} else {
-				if err := img.readBacking(backing, span, pos); err != nil {
-					return done, err
-				}
-				done += len(span)
-			}
-		default:
-			img.mu.RUnlock()
-			clear(seg)
-			done += want
-		}
+	extp := img.getExtents()
+	done, err := img.readExtents(p[:n], off, extp)
+	img.putExtents(extp)
+	if err != nil {
+		return done, err
 	}
 	return n, errEOF
+}
+
+// readExtents serves p (clamped to the virtual size) starting at guest
+// offset off: translate the remainder into extents under one shared-lock
+// acquisition, serve each extent lock-free, and re-translate whenever a fill
+// reports that the allocation picture changed under it (short serve). The
+// extent slice is threaded through extp so a pooled slice is grown at most
+// once per image lifetime.
+func (img *Image) readExtents(p []byte, off int64, extp *[]mappedExtent) (int, error) {
+	n := len(p)
+	done := 0
+	for done < n {
+		exts, ctx, terr := img.translateExtents(off+int64(done), off+int64(n), (*extp)[:0])
+		*extp = exts
+		stale := false
+	serve:
+		for i := range exts {
+			e := &exts[i]
+			seg := p[done : done+int(e.length)]
+			switch e.kind {
+			case extRaw:
+				// Bound clusters are never moved or freed, so this read
+				// needs no lock: the container serialises its own I/O.
+				if err := backend.ReadFull(img.f, seg, e.dataOff); err != nil {
+					return done, err
+				}
+				if img.isCache {
+					img.stats.LocalBytes.Add(e.length)
+					if pf := img.pf.Load(); pf != nil {
+						pf.markRead(e.pos, e.length)
+					}
+				}
+				done += int(e.length)
+			case extCompressed:
+				data, err := img.readCompressed(e.dataOff)
+				if err != nil {
+					return done, err
+				}
+				copy(seg, data[e.pos-e.vc*img.ly.clusterSize:])
+				if img.isCache {
+					// A compressed cluster is still a local hit: count it
+					// like the raw branch so the local/backing traffic
+					// ratio stays truthful for compressed caches.
+					img.stats.LocalBytes.Add(e.length)
+				}
+				done += int(e.length)
+			case extSubPartial:
+				// Partially-valid cluster: serve sub-cluster-wise,
+				// demand-filling missing sub-clusters in place.
+				served, err := img.subReadPartial(e.vc, e.pos, seg, e.dataOff, ctx.backing, ctx.fillSub)
+				if err != nil {
+					return done, err
+				}
+				done += served
+				if served < int(e.length) {
+					// A fill changed the validity picture (or this
+					// extent raced a whole-cluster fill): the rest of
+					// the translation is suspect too. Re-translate.
+					stale = true
+					break serve
+				}
+			case extUnalloc:
+				if ctx.fillRun {
+					served, err := img.fillRun(e.vc, e.run, e.pos, seg, ctx.backing)
+					if err != nil {
+						return done, err
+					}
+					done += served
+					if served < int(e.length) {
+						// The run was truncated or filled by a
+						// concurrent fill: re-translate.
+						stale = true
+						break serve
+					}
+				} else {
+					if err := img.readBacking(ctx.backing, seg, e.pos); err != nil {
+						return done, err
+					}
+					done += int(e.length)
+				}
+			case extZero:
+				clear(seg)
+				done += int(e.length)
+			}
+		}
+		// A translation error is returned only after the extents preceding
+		// it were served — unless a short serve already invalidated the
+		// snapshot, in which case the retry re-derives (or clears) it.
+		if terr != nil && !stale {
+			return done, terr
+		}
+	}
+	return done, nil
 }
 
 // unallocatedRun counts consecutive unallocated clusters starting at vc that

@@ -3,6 +3,7 @@ package qcow
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"vmicache/internal/backend"
 )
@@ -24,18 +25,35 @@ func defaultL2CacheTables(ly layout) int {
 	return int(n)
 }
 
-// l2Cache is a small LRU of decoded L2 tables keyed by their file offset.
+// l2ShardCount is the number of independent shards the L2 table cache is
+// split into (power of two). Translations hash their table offset to a
+// shard, so 64 concurrent readers contend on 16 short mutexes instead of
+// serialising on one — the per-shard critical section is a map probe plus an
+// LRU bump, never I/O.
+const l2ShardCount = 16
+
+// l2Cache is a sharded LRU of decoded L2 tables keyed by their file offset.
 // Entries are write-through: updates are persisted immediately, so eviction
-// never loses data. The internal mutex protects only the map and LRU list —
-// the cached table slices themselves are guarded by the image lock (readers
-// under RLock, mutators under Lock), so concurrent translations may share a
-// slice safely. Hit/miss counters live in Stats (loadL2 counts them).
+// never loses data. Each shard's mutex protects only that shard's map and
+// LRU list — the cached table slices themselves are guarded by the image
+// lock (readers under RLock, mutators under Lock), so concurrent
+// translations may share a slice safely. Aggregate hit/miss counters live in
+// Stats (loadL2 counts them); per-shard counters live on the shards and are
+// exposed by RegisterMetrics.
 type l2Cache struct {
+	shards [l2ShardCount]l2Shard
+}
+
+// l2Shard is one independently locked slice of the cache.
+type l2Shard struct {
 	mu   sync.Mutex
 	cap  int
 	m    map[int64]*l2Entry
 	head *l2Entry // most recent
 	tail *l2Entry // least recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type l2Entry struct {
@@ -45,73 +63,93 @@ type l2Entry struct {
 }
 
 func newL2Cache(capTables int) *l2Cache {
-	if capTables < 1 {
-		capTables = 1
+	perShard := (capTables + l2ShardCount - 1) / l2ShardCount
+	if perShard < 1 {
+		perShard = 1
 	}
-	return &l2Cache{cap: capTables, m: make(map[int64]*l2Entry)}
+	c := &l2Cache{}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].m = make(map[int64]*l2Entry)
+	}
+	return c
+}
+
+// shard maps an L2 table file offset to its shard. Offsets are cluster-
+// aligned, so the low bits carry no entropy: mix with a Fibonacci multiplier
+// and take high bits.
+func (c *l2Cache) shard(off int64) *l2Shard {
+	h := uint64(off) * 0x9e3779b97f4a7c15
+	return &c.shards[(h>>56)&(l2ShardCount-1)]
 }
 
 func (c *l2Cache) get(off int64) ([]uint64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[off]
+	s := c.shard(off)
+	s.mu.Lock()
+	e, ok := s.m[off]
 	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
 		return nil, false
 	}
-	c.moveToFront(e)
-	return e.table, true
+	s.moveToFront(e)
+	t := e.table
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return t, true
 }
 
 func (c *l2Cache) put(off int64, table []uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.m[off]; ok {
+	s := c.shard(off)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[off]; ok {
 		e.table = table
-		c.moveToFront(e)
+		s.moveToFront(e)
 		return
 	}
 	e := &l2Entry{off: off, table: table}
-	c.m[off] = e
-	c.pushFront(e)
-	if len(c.m) > c.cap {
-		evict := c.tail
-		c.unlink(evict)
-		delete(c.m, evict.off)
+	s.m[off] = e
+	s.pushFront(e)
+	if len(s.m) > s.cap {
+		evict := s.tail
+		s.unlink(evict)
+		delete(s.m, evict.off)
 	}
 }
 
-func (c *l2Cache) pushFront(e *l2Entry) {
+func (s *l2Shard) pushFront(e *l2Entry) {
 	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
 	}
 }
 
-func (c *l2Cache) unlink(e *l2Entry) {
+func (s *l2Shard) unlink(e *l2Entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		c.head = e.next
+		s.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		c.tail = e.prev
+		s.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }
 
-func (c *l2Cache) moveToFront(e *l2Entry) {
-	if c.head == e {
+func (s *l2Shard) moveToFront(e *l2Entry) {
+	if s.head == e {
 		return
 	}
-	c.unlink(e)
-	c.pushFront(e)
+	s.unlink(e)
+	s.pushFront(e)
 }
 
 // loadL2 returns the decoded L2 table stored at file offset off. Concurrent
@@ -191,7 +229,7 @@ func (img *Image) lookupT(vc int64) (mapping, []uint64, error) {
 }
 
 // runLookup translates consecutive virtual clusters while memoizing the
-// current L2 table, avoiding an l2Cache probe (mutex + LRU bump) per
+// current L2 table, avoiding an l2Cache probe (shard mutex + LRU bump) per
 // cluster — with 512 B clusters a single guest read scans dozens of
 // clusters of the same table. Valid only inside ONE image-lock critical
 // section (read or write): the memoized table must not be reused after the

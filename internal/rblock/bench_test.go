@@ -1,6 +1,7 @@
 package rblock
 
 import (
+	"fmt"
 	"testing"
 
 	"vmicache/internal/backend"
@@ -70,6 +71,30 @@ func BenchmarkPipelinedRead(b *testing.B) {
 		if _, err := rf.ReadAt(buf, off); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerReadLarge measures bulk transfer throughput at image-warm
+// spans (1 MiB and 4 MiB per call, pipelined as rwsize segments). The
+// vectored reply writer should coalesce many in-flight replies into single
+// writev calls, and the payload/frame/segment pools should hold allocs/op
+// near-constant regardless of span.
+func BenchmarkServerReadLarge(b *testing.B) {
+	for _, span := range []int64{1 << 20, 4 << 20} {
+		span := span
+		b.Run(fmt.Sprintf("%dMiB", span>>20), func(b *testing.B) {
+			rf := newBenchPair(b, 64<<20)
+			buf := make([]byte, span)
+			b.SetBytes(span)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (int64(i) * span) % (32 << 20)
+				if _, err := rf.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

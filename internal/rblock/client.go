@@ -32,8 +32,11 @@ type Client struct {
 	bw     *bufio.Writer
 	rwsize int
 
-	// wmu serialises frame writes and flushes on the shared connection.
-	wmu sync.Mutex
+	// wmu serialises frame writes and flushes on the shared connection;
+	// whdr is the header scratch used under it (a stack array would escape
+	// through the io.Writer interface and cost one allocation per request).
+	wmu  sync.Mutex
+	whdr [frameHeaderLen]byte
 
 	// mu guards the demux state below.
 	mu      sync.Mutex
@@ -49,8 +52,41 @@ type Client struct {
 	// pipe (SetMaxInflight).
 	maxInflight atomic.Int32
 
+	// payloads recycles response payload buffers (rwsize each); chanPool
+	// recycles roundTrip reply channels and segPool the per-call segment
+	// slices of large ReadAt/WriteAt, so a pipelined stream allocates
+	// neither in steady state.
+	payloads *payloadPool
+	chanPool sync.Pool
+	segPool  sync.Pool
+
 	ctr clientCounters
 }
+
+// getChan returns a reply channel for one round trip. Channels are recycled
+// ONLY after a successful receive: fail() closes every pending channel, so a
+// channel that went through a broken client must never be reused.
+func (c *Client) getChan() chan *frame {
+	if v := c.chanPool.Get(); v != nil {
+		return v.(chan *frame)
+	}
+	return make(chan *frame, 1)
+}
+
+func (c *Client) putChan(ch chan *frame) { c.chanPool.Put(ch) }
+
+// getSegs returns a pooled segment slice (by pointer so recycling does not
+// allocate).
+func (c *Client) getSegs() *[]segment {
+	if v := c.segPool.Get(); v != nil {
+		p := v.(*[]segment)
+		*p = (*p)[:0]
+		return p
+	}
+	return new([]segment)
+}
+
+func (c *Client) putSegs(p *[]segment) { c.segPool.Put(p) }
 
 // clientCounters are the client's live instruments: plain atomics updated on
 // the request path, sampled by Stats and RegisterMetrics.
@@ -113,11 +149,12 @@ func Dial(addr string, rwsize int) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 128<<10),
-		rwsize:  rwsize,
-		pending: make(map[uint32]chan *frame),
-		timeout: DefaultTimeout,
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 128<<10),
+		rwsize:   rwsize,
+		pending:  make(map[uint32]chan *frame),
+		timeout:  DefaultTimeout,
+		payloads: newPayloadPool(rwsize),
 	}
 	go c.readLoop(bufio.NewReaderSize(conn, 128<<10))
 	return c, nil
@@ -169,8 +206,9 @@ func (c *Client) fail(err error) {
 // (see roundTrip) and cleared when the pipeline drains, so an idle
 // connection never times out.
 func (c *Client) readLoop(br *bufio.Reader) {
+	hdr := make([]byte, frameHeaderLen)
 	for {
-		resp, err := readFrame(br)
+		resp, err := readFrame(br, c.payloads, hdr)
 		if err != nil {
 			c.fail(err)
 			return
@@ -207,17 +245,22 @@ func (c *Client) brokenErr() error {
 
 // roundTrip sends a request and waits for its response. Concurrent callers
 // pipeline: their requests share the connection and complete independently.
+// roundTrip takes ownership of req (recycled once serialised); on success
+// the caller owns the returned response and must recycle it with putFrame
+// after consuming its payload.
 func (c *Client) roundTrip(req *frame) (*frame, error) {
-	ch := make(chan *frame, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		putFrame(req)
 		return nil, ErrClosed
 	}
 	if c.broken != nil {
 		c.mu.Unlock()
+		putFrame(req)
 		return nil, c.brokenErr()
 	}
+	ch := c.getChan()
 	start := time.Now()
 	c.ctr.requests.Add(1)
 	c.ctr.bytesOut.Add(int64(len(req.payload)))
@@ -238,11 +281,22 @@ func (c *Client) roundTrip(req *frame) (*frame, error) {
 	if timeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
 	}
-	err := writeFrame(c.bw, req)
-	if err == nil {
-		err = c.bw.Flush()
+	var err error
+	if len(req.payload) > maxPayload {
+		err = fmt.Errorf("%w: payload %d", ErrBadFrame, len(req.payload))
+	} else {
+		encodeFrameHeader(c.whdr[:], req)
+		_, err = c.bw.Write(c.whdr[:])
+		if err == nil && len(req.payload) > 0 {
+			_, err = c.bw.Write(req.payload)
+		}
+		if err == nil {
+			err = c.bw.Flush()
+		}
 	}
 	c.wmu.Unlock()
+	op := req.op
+	putFrame(req)
 	if err != nil {
 		c.fail(err)
 		return nil, c.brokenErr()
@@ -250,13 +304,17 @@ func (c *Client) roundTrip(req *frame) (*frame, error) {
 
 	resp, ok := <-ch
 	if !ok {
+		// fail() closed the channel; it must not be reused (see getChan).
 		return nil, c.brokenErr()
 	}
-	if resp.op != req.op|replyFlag {
+	c.putChan(ch)
+	if resp.op != op|replyFlag {
 		c.fail(fmt.Errorf("%w: mismatched reply op %#x", ErrBadFrame, resp.op))
+		putFrame(resp)
 		return nil, c.brokenErr()
 	}
 	if err := statusErr(resp.status); err != nil {
+		putFrame(resp)
 		return nil, err
 	}
 	c.ctr.bytesIn.Add(int64(len(resp.payload)))
@@ -280,11 +338,15 @@ func (c *Client) Open(name string, readOnly bool) (*RemoteFile, error) {
 	if readOnly {
 		flags = 1
 	}
-	resp, err := c.roundTrip(&frame{op: OpOpen, flags: flags, payload: []byte(name)})
+	req := getFrame()
+	req.op, req.flags, req.payload = OpOpen, flags, []byte(name)
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteFile{c: c, handle: resp.handle, size: int64(resp.aux), ro: readOnly}, nil
+	rf := &RemoteFile{c: c, handle: resp.handle, size: int64(resp.aux), ro: readOnly}
+	putFrame(resp)
+	return rf, nil
 }
 
 // segment is one rwsize-bounded slice of a larger request.
@@ -293,9 +355,9 @@ type segment struct {
 	n     int
 }
 
-// segments splits a length into rwsize-bounded pieces.
-func (f *RemoteFile) segments(total int) []segment {
-	segs := make([]segment, 0, (total+f.c.rwsize-1)/f.c.rwsize)
+// segments appends total split into rwsize-bounded pieces to segs (pass a
+// pooled slice from getSegs).
+func (f *RemoteFile) segments(segs []segment, total int) []segment {
 	for start := 0; start < total; start += f.c.rwsize {
 		n := total - start
 		if n > f.c.rwsize {
@@ -316,18 +378,23 @@ func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
 		return 0, ErrBadRequest
 	}
 	readSeg := func(s segment) (int, error) {
-		resp, err := f.c.roundTrip(&frame{
-			op:     OpRead,
-			handle: f.handle,
-			offset: uint64(off + int64(s.start)),
-			aux:    uint64(s.n),
-		})
+		req := getFrame()
+		req.op = OpRead
+		req.handle = f.handle
+		req.offset = uint64(off + int64(s.start))
+		req.aux = uint64(s.n)
+		resp, err := f.c.roundTrip(req)
 		if err != nil {
 			return 0, err
 		}
-		return copy(p[s.start:s.start+s.n], resp.payload), nil
+		n := copy(p[s.start:s.start+s.n], resp.payload)
+		putFrame(resp)
+		return n, nil
 	}
-	segs := f.segments(len(p))
+	sp := f.c.getSegs()
+	defer f.c.putSegs(sp)
+	segs := f.segments(*sp, len(p))
+	*sp = segs
 	if len(segs) <= 1 {
 		done := 0
 		for _, s := range segs {
@@ -362,18 +429,22 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 		return 0, ErrReadOnly
 	}
 	writeSeg := func(s segment) (int, error) {
-		_, err := f.c.roundTrip(&frame{
-			op:      OpWrite,
-			handle:  f.handle,
-			offset:  uint64(off + int64(s.start)),
-			payload: p[s.start : s.start+s.n],
-		})
+		req := getFrame()
+		req.op = OpWrite
+		req.handle = f.handle
+		req.offset = uint64(off + int64(s.start))
+		req.payload = p[s.start : s.start+s.n]
+		resp, err := f.c.roundTrip(req)
 		if err != nil {
 			return 0, err
 		}
+		putFrame(resp)
 		return s.n, nil
 	}
-	segs := f.segments(len(p))
+	sp := f.c.getSegs()
+	defer f.c.putSegs(sp)
+	segs := f.segments(*sp, len(p))
+	*sp = segs
 	var done int
 	var err error
 	if len(segs) <= 1 {
@@ -426,18 +497,29 @@ func (c *Client) inflightCap() int {
 
 // inParallel runs op over every segment with bounded concurrency and returns
 // per-segment completed byte counts plus the first error in segment order.
+// A fixed pool of inflightCap workers claims segments via an atomic cursor —
+// a 64-segment read spawns at most inflightCap goroutines, not 64.
 func (f *RemoteFile) inParallel(segs []segment, op func(segment) (int, error)) ([]int, error) {
 	ns := make([]int, len(segs))
 	errs := make([]error, len(segs))
-	sem := make(chan struct{}, f.c.inflightCap())
+	workers := f.c.inflightCap()
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, s := range segs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, s segment) {
-			defer func() { <-sem; wg.Done() }()
-			ns[i], errs[i] = op(s)
-		}(i, s)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) {
+					return
+				}
+				ns[i], errs[i] = op(segs[i])
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -450,14 +532,18 @@ func (f *RemoteFile) inParallel(segs []segment, op func(segment) (int, error)) (
 
 // Size queries the remote size.
 func (f *RemoteFile) Size() (int64, error) {
-	resp, err := f.c.roundTrip(&frame{op: OpStat, handle: f.handle})
+	req := getFrame()
+	req.op, req.handle = OpStat, f.handle
+	resp, err := f.c.roundTrip(req)
 	if err != nil {
 		return 0, err
 	}
+	size := int64(resp.aux)
+	putFrame(resp)
 	f.mu.Lock()
-	f.size = int64(resp.aux)
+	f.size = size
 	f.mu.Unlock()
-	return int64(resp.aux), nil
+	return size, nil
 }
 
 // Truncate resizes the remote file.
@@ -465,8 +551,11 @@ func (f *RemoteFile) Truncate(n int64) error {
 	if f.ro {
 		return ErrReadOnly
 	}
-	_, err := f.c.roundTrip(&frame{op: OpTruncate, handle: f.handle, aux: uint64(n)})
+	req := getFrame()
+	req.op, req.handle, req.aux = OpTruncate, f.handle, uint64(n)
+	resp, err := f.c.roundTrip(req)
 	if err == nil {
+		putFrame(resp)
 		f.mu.Lock()
 		f.size = n
 		f.mu.Unlock()
@@ -476,7 +565,12 @@ func (f *RemoteFile) Truncate(n int64) error {
 
 // Sync flushes the remote file.
 func (f *RemoteFile) Sync() error {
-	_, err := f.c.roundTrip(&frame{op: OpSync, handle: f.handle})
+	req := getFrame()
+	req.op, req.handle = OpSync, f.handle
+	resp, err := f.c.roundTrip(req)
+	if err == nil {
+		putFrame(resp)
+	}
 	return err
 }
 
@@ -490,7 +584,12 @@ func (f *RemoteFile) Close() error {
 	}
 	f.closed = true
 	f.mu.Unlock()
-	_, err := f.c.roundTrip(&frame{op: OpClose, handle: f.handle})
+	req := getFrame()
+	req.op, req.handle = OpClose, f.handle
+	resp, err := f.c.roundTrip(req)
+	if err == nil {
+		putFrame(resp)
+	}
 	return err
 }
 

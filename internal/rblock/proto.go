@@ -11,8 +11,8 @@ package rblock
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
+	"sync"
 )
 
 // Protocol constants.
@@ -112,65 +112,117 @@ type frame struct {
 	aux     uint64
 	payload []byte
 
-	// pooled, when non-nil, is the pool-owned backing array of payload; the
-	// writer returns it to the server's buffer pool after the frame has been
-	// serialised. Never sent on the wire.
+	// pooled, when non-nil, is the pool-owned backing array of payload, and
+	// ppool is the payloadPool that owns it; putFrame returns the buffer
+	// there once the payload has been consumed (copied onto the wire or into
+	// the caller's buffer). Never sent on the wire.
 	pooled *[]byte
+	ppool  *payloadPool
 }
 
-// writeFrame serialises f to w.
-func writeFrame(w io.Writer, f *frame) error {
-	if len(f.payload) > maxPayload {
-		return fmt.Errorf("%w: payload %d", ErrBadFrame, len(f.payload))
+// payloadPool recycles payload buffers of a fixed nominal size (the
+// connection's rwsize). Buffers are handed out and returned by pointer so
+// recycling does not allocate a box per Put. Requests larger than the
+// nominal size (rare control frames never are) fall back to plain
+// allocation and are dropped on put.
+type payloadPool struct {
+	pool sync.Pool
+	size int
+}
+
+func newPayloadPool(size int) *payloadPool {
+	p := &payloadPool{size: size}
+	p.pool.New = func() any {
+		b := make([]byte, size)
+		return &b
 	}
-	var hdr [frameHeaderLen]byte
+	return p
+}
+
+// get returns a buffer with capacity for at least n bytes, len == cap.
+func (p *payloadPool) get(n int) *[]byte {
+	if n > p.size {
+		b := make([]byte, n)
+		return &b
+	}
+	return p.pool.Get().(*[]byte)
+}
+
+func (p *payloadPool) put(bp *[]byte) {
+	if cap(*bp) >= p.size {
+		*bp = (*bp)[:p.size]
+		p.pool.Put(bp)
+	}
+}
+
+// framePool recycles frame structs across requests on both sides of the
+// protocol; a pipelined stream allocates no frames in steady state.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func getFrame() *frame { return framePool.Get().(*frame) }
+
+// putFrame recycles f and, when its payload is pool-owned, the payload
+// buffer too. The caller must be done with f.payload.
+func putFrame(f *frame) {
+	if f.pooled != nil && f.ppool != nil {
+		f.ppool.put(f.pooled)
+	}
+	*f = frame{}
+	framePool.Put(f)
+}
+
+// encodeFrameHeader serialises f's fixed header into dst, which must be at
+// least frameHeaderLen bytes.
+func encodeFrameHeader(dst []byte, f *frame) {
 	be := binary.BigEndian
-	be.PutUint32(hdr[0:], Magic)
-	hdr[4] = byte(f.op)
-	hdr[5] = f.flags
-	be.PutUint16(hdr[6:], uint16(f.status))
-	be.PutUint32(hdr[8:], f.id)
-	be.PutUint32(hdr[12:], f.handle)
-	be.PutUint64(hdr[16:], f.offset)
-	be.PutUint32(hdr[24:], uint32(len(f.payload)))
-	be.PutUint64(hdr[28:], f.aux)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(f.payload) > 0 {
-		if _, err := w.Write(f.payload); err != nil {
-			return err
-		}
-	}
-	return nil
+	be.PutUint32(dst[0:], Magic)
+	dst[4] = byte(f.op)
+	dst[5] = f.flags
+	be.PutUint16(dst[6:], uint16(f.status))
+	be.PutUint32(dst[8:], f.id)
+	be.PutUint32(dst[12:], f.handle)
+	be.PutUint64(dst[16:], f.offset)
+	be.PutUint32(dst[24:], uint32(len(f.payload)))
+	be.PutUint64(dst[28:], f.aux)
 }
 
-// readFrame deserialises one frame from r.
-func readFrame(r io.Reader) (*frame, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readFrame deserialises one frame from r. The frame comes from framePool;
+// when pp is non-nil the payload buffer comes from pp. hdr is caller-owned
+// scratch of at least frameHeaderLen bytes (a stack array would escape
+// through the io.Reader interface and cost one allocation per frame). The
+// caller owns the result and recycles it with putFrame.
+func readFrame(r io.Reader, pp *payloadPool, hdr []byte) (*frame, error) {
+	hdr = hdr[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
 	be := binary.BigEndian
 	if be.Uint32(hdr[0:]) != Magic {
 		return nil, ErrBadFrame
 	}
-	f := &frame{
-		op:     Op(hdr[4]),
-		flags:  hdr[5],
-		status: uint32(be.Uint16(hdr[6:])),
-		id:     be.Uint32(hdr[8:]),
-		handle: be.Uint32(hdr[12:]),
-		offset: be.Uint64(hdr[16:]),
-		aux:    be.Uint64(hdr[28:]),
-	}
+	f := getFrame()
+	f.op = Op(hdr[4])
+	f.flags = hdr[5]
+	f.status = uint32(be.Uint16(hdr[6:]))
+	f.id = be.Uint32(hdr[8:])
+	f.handle = be.Uint32(hdr[12:])
+	f.offset = be.Uint64(hdr[16:])
+	f.aux = be.Uint64(hdr[28:])
 	n := be.Uint32(hdr[24:])
 	if n > maxPayload {
+		putFrame(f)
 		return nil, ErrBadFrame
 	}
 	if n > 0 {
-		f.payload = make([]byte, n)
+		if pp != nil {
+			f.pooled = pp.get(int(n))
+			f.ppool = pp
+			f.payload = (*f.pooled)[:n]
+		} else {
+			f.payload = make([]byte, n)
+		}
 		if _, err := io.ReadFull(r, f.payload); err != nil {
+			putFrame(f)
 			return nil, err
 		}
 	}

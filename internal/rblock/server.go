@@ -118,11 +118,11 @@ type Server struct {
 	rwsize int
 	stats  serverCounters
 
-	// bufPool recycles OpRead reply buffers (rwsize bytes each) across
-	// requests, so a busy read stream allocates no payload buffers in
-	// steady state. Buffers are returned once the reply frame has been
-	// copied onto the connection.
-	bufPool sync.Pool
+	// payloads recycles rwsize payload buffers across requests — OpRead
+	// reply buffers and inbound OpWrite request payloads — so a busy stream
+	// allocates no payload buffers in steady state. Buffers return to the
+	// pool via putFrame once the frame's payload has been consumed.
+	payloads *payloadPool
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -162,10 +162,7 @@ func NewServer(store backend.Store, opts ServerOpts) *Server {
 		readOnly: opts.ReadOnly,
 	}
 	srv.stats.perImage = make(map[string]*imageCounters)
-	srv.bufPool.New = func() any {
-		b := make([]byte, rw)
-		return &b
-	}
+	srv.payloads = newPayloadPool(rw)
 	return srv
 }
 
@@ -343,10 +340,121 @@ func (cs *connState) get(h uint32) (*openHandle, bool) {
 	return oh, ok
 }
 
+// maxReplyQueue bounds how many replies may sit in a connection's reply
+// queue awaiting the vectored write. The request semaphore already caps
+// outstanding replies at maxConcurrentPerConn; the extra headroom only
+// matters if that invariant ever loosens, keeping pooled payload buffers
+// from piling up behind a slow client either way.
+const maxReplyQueue = 2 * maxConcurrentPerConn
+
+// replyWriter coalesces reply frames into vectored writes. Replies are
+// enqueued under the mutex; the first enqueuer to find no writer active
+// becomes the writer and drains the queue with one net.Buffers writev
+// (header+payload per frame, no intermediate copy) per batch, picking up
+// replies that accumulated while the previous batch was on the wire. Queued
+// frames are owned by the writer and recycled with putFrame after the write.
+type replyWriter struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	queue  []*frame
+	spare  []*frame // double buffer: reused as the next queue backing
+	active bool
+	err    error
+
+	// hdrs is the reusable header slab (frameHeaderLen per queued frame);
+	// iov is the reusable iovec assembled for each writev; wip is the
+	// consumable copy handed to WriteTo (which advances it in place), so
+	// iov keeps its backing capacity across batches.
+	hdrs []byte
+	iov  net.Buffers
+	wip  net.Buffers
+}
+
+func newReplyWriter(conn net.Conn) *replyWriter {
+	w := &replyWriter{conn: conn}
+	w.cond.L = &w.mu
+	return w
+}
+
+// send enqueues one reply frame, transferring ownership; f is recycled after
+// it hits the wire (or the writer has already failed). The caller that finds
+// the writer idle drains the queue itself, so under low concurrency send
+// degenerates to one writev per reply with no extra goroutine or handoff.
+func (w *replyWriter) send(f *frame) error {
+	w.mu.Lock()
+	for w.err == nil && len(w.queue) >= maxReplyQueue {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		putFrame(f)
+		return err
+	}
+	w.queue = append(w.queue, f)
+	if w.active {
+		w.mu.Unlock()
+		return nil
+	}
+	w.active = true
+	for w.err == nil && len(w.queue) > 0 {
+		batch := w.queue
+		w.queue = w.spare[:0]
+		w.spare = nil
+		w.cond.Broadcast() // queue drained: admit blocked senders
+		w.mu.Unlock()
+		err := w.writeBatch(batch)
+		for _, qf := range batch {
+			putFrame(qf)
+		}
+		w.mu.Lock()
+		w.spare = batch[:0]
+		if err != nil {
+			w.err = err
+			w.cond.Broadcast()
+		}
+	}
+	w.active = false
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// writeBatch pushes a batch of replies to the socket as one vectored write.
+func (w *replyWriter) writeBatch(batch []*frame) error {
+	need := len(batch) * frameHeaderLen
+	if cap(w.hdrs) < need {
+		w.hdrs = make([]byte, need)
+	}
+	hdrs := w.hdrs[:need]
+	iov := w.iov[:0]
+	for i, f := range batch {
+		if len(f.payload) > maxPayload {
+			return fmt.Errorf("%w: payload %d", ErrBadFrame, len(f.payload))
+		}
+		h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
+		encodeFrameHeader(h, f)
+		iov = append(iov, h)
+		if len(f.payload) > 0 {
+			iov = append(iov, f.payload)
+		}
+	}
+	w.iov = iov // keep the grown capacity for the next batch
+	// WriteTo consumes its receiver (and advances the elements on partial
+	// writes): hand it the wip copy so iov's backing stays reusable, and
+	// use a field as the receiver so no slice header escapes per batch.
+	w.wip = iov
+	_, err := w.wip.WriteTo(w.conn)
+	return err
+}
+
 // serveConn handles one client connection. Requests are dispatched
 // concurrently (bounded) so pipelined clients overlap server-side I/O;
 // responses carry the request id, so completion order need not match arrival
-// order. Frame writes are serialised by a per-connection mutex.
+// order. Replies leave through the connection's replyWriter, which batches
+// concurrent completions into single vectored writes.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close() //nolint:errcheck
@@ -356,9 +464,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.stats.activeConns.Add(-1)
 	}()
 	br := bufio.NewReaderSize(conn, 128<<10)
-	bw := bufio.NewWriterSize(conn, 128<<10)
+	rw := newReplyWriter(conn)
 	cs := &connState{handles: map[uint32]*openHandle{}}
-	var wmu sync.Mutex
 	var wg sync.WaitGroup
 	defer func() {
 		wg.Wait()
@@ -367,9 +474,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 	sem := make(chan struct{}, maxConcurrentPerConn)
+	hdr := make([]byte, frameHeaderLen) // per-conn header scratch
 
 	for {
-		req, err := readFrame(br)
+		req, err := readFrame(br, s.payloads, hdr)
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) &&
 				!errors.Is(err, io.ErrUnexpectedEOF) {
@@ -386,19 +494,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			resp := s.handle(req, cs)
 			s.stats.latency.Observe(time.Since(start).Nanoseconds())
 			resp.id = req.id
-			wmu.Lock()
-			err := writeFrame(bw, resp)
-			if err == nil {
-				err = bw.Flush()
-			}
-			wmu.Unlock()
-			if resp.pooled != nil {
-				// The payload has been copied onto the wire (or the
-				// connection is dead); recycle the reply buffer.
-				s.bufPool.Put(resp.pooled)
-				resp.pooled = nil
-			}
-			if err != nil {
+			putFrame(req)
+			if err := rw.send(resp); err != nil {
 				s.logf("rblock: conn write: %v", err)
 				conn.Close() //nolint:errcheck // unblocks the read loop
 			}
@@ -407,7 +504,8 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *frame, cs *connState) *frame {
-	resp := &frame{op: req.op | replyFlag}
+	resp := getFrame()
+	resp.op = req.op | replyFlag
 	fail := func(status uint32) *frame {
 		resp.status = status
 		return resp
@@ -445,14 +543,15 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if !ok || req.aux == 0 || req.aux > uint64(s.rwsize) {
 			return fail(StatusBadRequest)
 		}
-		bp := s.bufPool.Get().(*[]byte)
+		bp := s.payloads.get(int(req.aux))
 		buf := (*bp)[:req.aux]
 		n, err := oh.f.ReadAt(buf, int64(req.offset))
 		if err != nil && n == 0 && !errors.Is(err, io.EOF) {
-			s.bufPool.Put(bp)
+			s.payloads.put(bp)
 			return fail(StatusIO)
 		}
 		resp.pooled = bp
+		resp.ppool = s.payloads
 		resp.payload = buf[:n]
 		s.stats.readOps.Add(1)
 		s.stats.bytesRead.Add(int64(n))
