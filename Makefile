@@ -39,21 +39,22 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 0.5s .
 
 # bench-baseline regenerates the committed CI baseline from the data-path
-# microbenchmarks plus the prefetch/prewarm pipeline and sub-cluster
-# cold-boot benchmarks. The 'WarmRead' pattern also matches the batched
-# data-path benchmarks (LargeWarmRead, ContendedWarmRead) and 'ServerRead'
-# covers both the 4K round trip and the large vectored transfers. -cpu 4
-# pins GOMAXPROCS so benchmark names (and the stripped-suffix keys benchjson
-# compares on) are machine-independent; -benchtime 2s keeps run-to-run noise
-# well under the 20% regression gate. After refreshing, commit the new
-# BENCH_pr6.json and keep ci.yml's -baseline flag pointing at it.
+# microbenchmarks plus the prefetch/prewarm pipeline, sub-cluster cold-boot,
+# and swarm flash-crowd benchmarks. The 'WarmRead' pattern also matches the
+# batched data-path benchmarks (LargeWarmRead, ContendedWarmRead) and
+# 'ServerRead' covers both the 4K round trip and the large vectored
+# transfers. -cpu 4 pins GOMAXPROCS so benchmark names (and the
+# stripped-suffix keys benchjson compares on) are machine-independent;
+# -benchtime 2s keeps run-to-run noise well under the 20% regression gate.
+# After refreshing, commit the new BENCH_pr7.json and keep ci.yml's
+# -baseline flag pointing at it.
 bench-baseline:
 	( $(GO) test -run xxx \
 		-bench 'WarmRead|ColdFill|RoundTrip|PipelinedRead|SequentialColdRead|ServerRead' \
 		-benchmem -benchtime 2s -cpu 4 ./internal/qcow/ ./internal/rblock/ ; \
-	  $(GO) test -run xxx -bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead' \
+	  $(GO) test -run xxx -bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead|SwarmFlashCrowd' \
 		-benchmem -benchtime 2s -cpu 4 . ) \
-		| $(GO) run ./cmd/benchjson -out BENCH_pr6.json
+		| $(GO) run ./cmd/benchjson -out BENCH_pr7.json
 
 coverage:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -1033,6 +1033,31 @@ func BenchmarkExtensionSnapshotRestore(b *testing.B) {
 	}
 }
 
+// BenchmarkSwarmFlashCrowd measures the swarm extension's headline property
+// end to end over real TCP: 8 nodes cold-warm one 1 MiB image concurrently,
+// each fetching chunk-wise from the others while still warming itself.
+// storage-node-MB is the decisive metric — it should stay near one copy of
+// the image regardless of crowd size — and amplification is that traffic
+// over the single-node warming cost. CI gates storage-node-MB against the
+// committed baseline with a wide tolerance: the regression it exists to
+// catch (swarm collapse, everyone falling back to storage) inflates it by
+// the crowd size, far beyond scheduling noise.
+func BenchmarkSwarmFlashCrowd(b *testing.B) {
+	var storage, single float64
+	for i := 0; i < b.N; i++ {
+		r, err := cluster.RunSwarm(cluster.SwarmParams{
+			Nodes: 8, ImageSize: 1 << 20, Seed: 20130703,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		storage += float64(r.StorageBytes)
+		single += float64(r.SingleCopyBytes)
+	}
+	b.ReportMetric(storage/float64(b.N)/1e6, "storage-node-MB")
+	b.ReportMetric(storage/single, "amplification")
+}
+
 // countingSource wraps a BlockSource and counts the bytes it serves — the
 // benchmarks' ground truth for "bytes read from the base image".
 type countingSource struct {

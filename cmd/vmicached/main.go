@@ -27,15 +27,25 @@
 //	-metrics-addr A  serve /metrics, /metrics.json and /debug/pprof on A
 //	-pprof-mutex-frac N   sample 1-in-N mutex contention events (0 = off)
 //	-pprof-block-rate NS  sample blocking events slower than NS ns (0 = off)
+//	-swarm           warm cold caches chunk-wise from every peer at once
+//	-tracker URL     swarm announce tracker base URL (http://host:port)
+//	-tracker-listen A     also host the announce tracker on A
+//	-swarm-self A    address announced to the swarm (default: -export bound)
+//	-swarm-chunk-bits N   swarm chunk size exponent (default 16 = 64 KiB)
+//	-swarm-max-peers N    peers each warm polls and fetches from (0 = all)
 //
-// A two-node warm handoff: start node A against the storage node and let it
-// warm, then start node B with -peers pointing at A — B pulls the published
-// cache from A without touching the storage node.
+// A flash crowd boots one image on many nodes at once: one node hosts the
+// tracker (-tracker-listen), every node starts with -swarm and -tracker
+// pointing at it, and each warms chunk-wise from all the others while still
+// warming itself — the storage node sends roughly one copy total, no matter
+// the crowd size.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,6 +57,7 @@ import (
 	"vmicache/internal/cachemgr"
 	"vmicache/internal/metrics"
 	"vmicache/internal/rblock"
+	"vmicache/internal/swarm"
 )
 
 func main() {
@@ -66,6 +77,12 @@ func main() {
 	status := fs.Duration("status", 0, "periodic status interval (0 = only on shutdown)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
+	swarmOn := fs.Bool("swarm", false, "warm cold caches via chunk-level swarm transfer from peers")
+	tracker := fs.String("tracker", "", "swarm announce tracker base URL, e.g. http://10.0.0.1:9091")
+	trackerListen := fs.String("tracker-listen", "", "also host the swarm announce tracker over HTTP on this address")
+	swarmSelf := fs.String("swarm-self", "", "peer-export address announced to the swarm (default: the -export bound address)")
+	swarmChunkBits := fs.Int("swarm-chunk-bits", 0, "swarm transfer chunk size exponent (0 = default, 64 KiB)")
+	swarmMaxPeers := fs.Int("swarm-max-peers", 0, "bound on peers each swarm warm polls and fetches from (0 = all)")
 	mutexFrac := fs.Int("pprof-mutex-frac", 0, "mutex contention sampling fraction (runtime.SetMutexProfileFraction); 0 disables")
 	blockRate := fs.Int("pprof-block-rate", 0, "blocking-event sampling rate in ns (runtime.SetBlockProfileRate); 0 disables")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
@@ -102,6 +119,21 @@ func main() {
 		fmt.Printf("vmicached: metrics on http://%s/metrics\n", msrv.Addr())
 	}
 
+	if *trackerListen != "" {
+		ln, err := net.Listen("tcp", *trackerListen)
+		if err != nil {
+			fail("-tracker-listen %s: %v", *trackerListen, err)
+		}
+		tsrv := &http.Server{Handler: swarm.NewTracker(0, nil).Handler()}
+		go tsrv.Serve(ln) //nolint:errcheck // reported on requests
+		defer tsrv.Close()
+		fmt.Printf("vmicached: swarm tracker on http://%s\n", ln.Addr())
+	}
+	var announcer swarm.Announcer
+	if *tracker != "" {
+		announcer = &swarm.TrackerClient{Base: *tracker}
+	}
+
 	client, err := rblock.Dial(*storage, 0)
 	if err != nil {
 		fail("dialing storage node %s: %v", *storage, err)
@@ -120,17 +152,22 @@ func main() {
 		client.SetMaxInflight(inflight)
 	}
 	mgr, err := cachemgr.New(cachemgr.Config{
-		Dir:         *dir,
-		Budget:      budgetBytes,
-		Quota:       quotaBytes,
-		ClusterBits: *clusterBits,
-		Subclusters: *subclusters,
-		WarmProfile: *warmProfile,
-		WarmWorkers: *warmJobs,
-		WarmBudget:  warmBudgetBytes,
-		Backing:     rblock.RemoteStore{C: client},
-		Peers:       splitList(*peers),
-		Metrics:     reg,
+		Dir:            *dir,
+		Budget:         budgetBytes,
+		Quota:          quotaBytes,
+		ClusterBits:    *clusterBits,
+		Subclusters:    *subclusters,
+		WarmProfile:    *warmProfile,
+		WarmWorkers:    *warmJobs,
+		WarmBudget:     warmBudgetBytes,
+		Backing:        rblock.RemoteStore{C: client},
+		Peers:          splitList(*peers),
+		Metrics:        reg,
+		SwarmEnabled:   *swarmOn,
+		SwarmSelf:      *swarmSelf,
+		SwarmTracker:   announcer,
+		SwarmChunkBits: *swarmChunkBits,
+		SwarmMaxPeers:  *swarmMaxPeers,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -39,6 +39,7 @@ import (
 	"vmicache/internal/metrics"
 	"vmicache/internal/qcow"
 	"vmicache/internal/rblock"
+	"vmicache/internal/swarm"
 )
 
 const (
@@ -97,12 +98,70 @@ type Config struct {
 	BackingName string
 
 	// Peers lists rblock addresses of peer cache managers tried, in
-	// order, before falling back to copy-on-read warming.
+	// order, before falling back to copy-on-read warming. With
+	// SwarmEnabled they are also the static swarm peer set.
 	Peers []string
 
 	// PeerTimeout bounds each peer-transfer request (0 means
 	// DefaultPeerTimeout).
 	PeerTimeout time.Duration
+
+	// PeerConcurrency bounds how many peer-transfer opens this node
+	// serves at once (wholesale pulls and swarm chunk views combined;
+	// 0 means DefaultPeerConcurrency). At the cap, opens are refused
+	// with a retryable "unavailable" status rather than queued, so
+	// fetching peers reassign to another source instead of convoying.
+	PeerConcurrency int
+
+	// SwarmEnabled switches cold warms from wholesale peer pulls to
+	// chunk-level multi-source fetching: each chunk is pulled from
+	// whichever peer advertises it (rarest first), falling back to the
+	// storage node, and the warming cache serves its valid chunks to
+	// other peers while it fills.
+	SwarmEnabled bool
+
+	// SwarmSelf is this node's peer-export address exactly as peers dial
+	// it. It names this node in tracker announces and rendezvous
+	// hashing; empty means fetch-only.
+	SwarmSelf string
+
+	// SwarmTracker, when non-nil, is the announce service used for peer
+	// discovery (an *swarm.LocalAnnouncer in-process, or a
+	// *swarm.TrackerClient over HTTP). Nil relies on the static Peers
+	// list.
+	SwarmTracker swarm.Announcer
+
+	// SwarmChunkBits selects the swarm transfer chunk size, 1<<bits
+	// bytes (0 means DefaultSwarmChunkBits = 64 KiB). All nodes sharing
+	// images must agree.
+	SwarmChunkBits int
+
+	// SwarmWorkers is the per-warm fetch parallelism (0 means 4).
+	SwarmWorkers int
+
+	// SwarmPeerRate caps bytes/s drawn from each peer (0 = unlimited).
+	SwarmPeerRate int64
+
+	// SwarmPeerInflight caps in-flight chunks per peer (0 means 4).
+	SwarmPeerInflight int
+
+	// SwarmPrimaryHold delays the first storage-node fetch so tracker
+	// membership can converge before rendezvous primaries are computed.
+	SwarmPrimaryHold time.Duration
+
+	// SwarmFallbackAfter is how long a chunk may starve (no usable peer,
+	// not this node's storage primary) before it goes to the storage
+	// node anyway (0 means 2s).
+	SwarmFallbackAfter time.Duration
+
+	// SwarmMaxPeers bounds how many peers each swarm warm polls and
+	// fetches from (0 = unbounded). Large deployments cap the active
+	// peer set so map-poll traffic stays O(N·MaxPeers), not O(N²).
+	SwarmMaxPeers int
+
+	// SwarmRefresh is the announce + chunk-map poll interval (0 means
+	// swarm.DefaultRefresh).
+	SwarmRefresh time.Duration
 
 	// WarmSpans are the guest-read spans replayed to warm a cold cache
 	// (nil warms the whole base — suitable for small images; production
@@ -152,6 +211,13 @@ type counters struct {
 	discardedTemps atomic.Int64
 	droppedCorrupt atomic.Int64
 
+	swarmWarms         atomic.Int64
+	swarmChunksPeer    atomic.Int64
+	swarmChunksStorage atomic.Int64
+	swarmBytesPeer     atomic.Int64
+	swarmBytesStorage  atomic.Int64
+	swarmReassigned    atomic.Int64
+
 	// warmDuration records end-to-end successful warm durations (ns),
 	// whichever path (peer transfer or copy-on-read) satisfied them.
 	warmDuration metrics.AtomicHistogram
@@ -171,9 +237,20 @@ type Stats struct {
 	DiscardedTemps int64 // crashed warms discarded at startup
 	DroppedCorrupt int64 // published files failing verification at startup
 
+	SwarmWarms         int64 // caches warmed through chunk-level swarm fetch
+	SwarmChunksPeer    int64 // swarm chunks fetched from peers
+	SwarmChunksStorage int64 // swarm chunks fetched from the storage node
+	SwarmBytesPeer     int64 // swarm bytes fetched from peers
+	SwarmBytesStorage  int64 // swarm bytes fetched from the storage node
+	SwarmReassigned    int64 // swarm chunk fetches reassigned after a failure
+
 	PoolHits, PoolMisses, Evictions int64
 	Used, Budget                    int64
 	Resident                        int
+
+	// Peers details every peer this node has transferred from, keyed by
+	// address (wholesale pulls and swarm chunk reads combined).
+	Peers map[string]PeerDetail
 }
 
 // String renders the snapshot for status output.
@@ -182,9 +259,28 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "caches: %d resident, %d/%d bytes used", s.Resident, s.Used, s.Budget)
 	fmt.Fprintf(&b, "\nwarm: %d cold (CoR), %d from peers (%.1f MB), %d peer fallbacks, %d failures",
 		s.ColdWarms, s.PeerFetches, float64(s.PeerFetchBytes)/1e6, s.PeerFallbacks, s.WarmFailures)
+	if s.SwarmWarms > 0 || s.SwarmChunksPeer+s.SwarmChunksStorage > 0 {
+		fmt.Fprintf(&b, "\nswarm: %d warms, %d chunks from peers (%.1f MB), %d from storage (%.1f MB), %d reassigned",
+			s.SwarmWarms, s.SwarmChunksPeer, float64(s.SwarmBytesPeer)/1e6,
+			s.SwarmChunksStorage, float64(s.SwarmBytesStorage)/1e6, s.SwarmReassigned)
+	}
 	fmt.Fprintf(&b, "\nsessions: %d attaches, %d shared singleflight waits", s.Attaches, s.SharedWaits)
 	fmt.Fprintf(&b, "\npool: %d hits, %d misses, %d evictions", s.PoolHits, s.PoolMisses, s.Evictions)
 	fmt.Fprintf(&b, "\nrecovery: %d temps discarded, %d corrupt caches dropped", s.DiscardedTemps, s.DroppedCorrupt)
+	if len(s.Peers) > 0 {
+		addrs := make([]string, 0, len(s.Peers))
+		for a := range s.Peers {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		for _, a := range addrs {
+			d := s.Peers[a]
+			fmt.Fprintf(&b, "\npeer %s: %d attempts, %d failures, %.1f MB", a, d.Attempts, d.Failures, float64(d.Bytes)/1e6)
+			if d.LastErr != "" {
+				fmt.Fprintf(&b, ", last error: %s", d.LastErr)
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -209,6 +305,18 @@ type Manager struct {
 	warming  map[string]*warmState
 	closed   bool
 	exporter *rblock.Server
+
+	// peerSem bounds concurrently served peer-transfer opens.
+	peerSem chan struct{}
+
+	// swarmMu guards the chunk-wise export registry and live sessions.
+	swarmMu      sync.Mutex
+	swarmExports map[string]*swarmExport
+	swarmLive    map[*swarm.Session]struct{}
+
+	// peerMu guards the per-peer transfer records.
+	peerMu     sync.Mutex
+	peerDetail map[string]*PeerDetail
 
 	stats counters
 }
@@ -250,18 +358,27 @@ func New(cfg Config) (*Manager, error) {
 	ns.Register(backingName, cfg.Backing)
 	ns.Register(scratchName, scratch)
 
+	peerSlots := cfg.PeerConcurrency
+	if peerSlots <= 0 {
+		peerSlots = DefaultPeerConcurrency
+	}
 	m := &Manager{
-		cfg:         cfg,
-		dir:         cfg.Dir,
-		cb:          cb,
-		backingName: backingName,
-		store:       store,
-		scratch:     scratch,
-		ns:          ns,
-		pool:        core.NewPool(cfg.Budget),
-		warming:     make(map[string]*warmState),
+		cfg:          cfg,
+		dir:          cfg.Dir,
+		cb:           cb,
+		backingName:  backingName,
+		store:        store,
+		scratch:      scratch,
+		ns:           ns,
+		pool:         core.NewPool(cfg.Budget),
+		warming:      make(map[string]*warmState),
+		peerSem:      make(chan struct{}, peerSlots),
+		swarmExports: make(map[string]*swarmExport),
+		swarmLive:    make(map[*swarm.Session]struct{}),
+		peerDetail:   make(map[string]*PeerDetail),
 	}
 	m.pool.OnEvict = func(name string, size int64) {
+		m.closeSwarmExport(name)
 		if err := os.Remove(filepath.Join(m.dir, name)); err != nil {
 			m.logf("cachemgr: evicting %s: %v", name, err)
 			return
@@ -327,6 +444,31 @@ func (m *Manager) registerMetrics(r *metrics.Registry) {
 		func() int64 { return int64(m.pool.Pinned()) })
 	r.RegisterHistogram("vmicache_cachemgr_warm_duration_ns",
 		"End-to-end duration of successful warms (peer or copy-on-read).", l, &s.warmDuration)
+
+	r.CounterFunc("vmicache_swarm_warms_total",
+		"Caches warmed through chunk-level swarm fetch.", l, s.swarmWarms.Load)
+	r.CounterFunc("vmicache_swarm_chunks_total",
+		"Swarm chunks fetched from peers.", metrics.Labels{"source": "peer"},
+		func() int64 { return m.swarmCounts().ChunksPeer })
+	r.CounterFunc("vmicache_swarm_chunks_total",
+		"Swarm chunks fetched from the storage node.", metrics.Labels{"source": "storage"},
+		func() int64 { return m.swarmCounts().ChunksStorage })
+	r.CounterFunc("vmicache_swarm_bytes_total",
+		"Swarm bytes fetched from peers.", metrics.Labels{"source": "peer"},
+		func() int64 { return m.swarmCounts().BytesPeer })
+	r.CounterFunc("vmicache_swarm_bytes_total",
+		"Swarm bytes fetched from the storage node.", metrics.Labels{"source": "storage"},
+		func() int64 { return m.swarmCounts().BytesStorage })
+	r.CounterFunc("vmicache_swarm_reassigned_total",
+		"Swarm chunk fetches reassigned after a source failure.", l,
+		func() int64 { return m.swarmCounts().Reassigned })
+	r.GaugeFunc("vmicache_swarm_exports",
+		"Images currently served chunk-wise to peers.", l,
+		func() int64 {
+			m.swarmMu.Lock()
+			defer m.swarmMu.Unlock()
+			return int64(len(m.swarmExports))
+		})
 }
 
 func (m *Manager) logf(format string, args ...any) { m.cfg.Logf(format, args...) }
@@ -550,7 +692,16 @@ func (s *Session) Close() error {
 // Stats returns a snapshot of the manager's activity.
 func (m *Manager) Stats() Stats {
 	hits, misses, evictions := m.pool.Stats()
+	sc := m.swarmCounts()
 	return Stats{
+		SwarmWarms:         m.stats.swarmWarms.Load(),
+		SwarmChunksPeer:    sc.ChunksPeer,
+		SwarmChunksStorage: sc.ChunksStorage,
+		SwarmBytesPeer:     sc.BytesPeer,
+		SwarmBytesStorage:  sc.BytesStorage,
+		SwarmReassigned:    sc.Reassigned,
+		Peers:              m.peerDetails(),
+
 		ColdWarms:      m.stats.coldWarms.Load(),
 		WarmFailures:   m.stats.warmFailures.Load(),
 		PeerAttempts:   m.stats.peerAttempts.Load(),
@@ -582,6 +733,18 @@ func (m *Manager) Close() error {
 	m.closed = true
 	exp := m.exporter
 	m.mu.Unlock()
+
+	// Close any published caches held open for chunk-wise serving.
+	m.swarmMu.Lock()
+	exports := m.swarmExports
+	m.swarmExports = make(map[string]*swarmExport)
+	m.swarmMu.Unlock()
+	for _, ex := range exports {
+		if ex.owned {
+			ex.img.Close() //nolint:errcheck // teardown
+		}
+	}
+
 	if exp != nil {
 		return exp.Shutdown(shutdownDrain)
 	}

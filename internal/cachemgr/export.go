@@ -9,18 +9,41 @@ import (
 	"vmicache/internal/rblock"
 )
 
-// exportStore is the peer-facing view of the cache directory: only published
-// caches are visible, always read-only. Temp files, CoW scratch, and anything
-// else in the directory do not exist as far as peers are concerned, so a
-// partially-warmed cache can never leak across the network.
+// exportStore is the peer-facing view of the cache directory: published
+// caches are visible wholesale under their own names, and the virtual address
+// space of a warming-or-published cache under "swarm:<key>" — always
+// read-only. Temp files, CoW scratch, and anything else in the directory do
+// not exist as far as peers are concerned, so a partially-warmed cache can
+// never leak across the network (swarm views refuse not-yet-valid ranges
+// per request instead).
 type exportStore struct{ m *Manager }
 
-// Open serves a published cache read-only.
+// Open serves a published cache read-only, or a chunk-wise virtual view for
+// "swarm:"-prefixed names. Both paths consume a peer-concurrency slot,
+// released when the served handle closes.
 func (e exportStore) Open(name string, _ bool) (backend.File, error) {
+	release, err := e.m.acquirePeerSlot()
+	if err != nil {
+		return nil, err
+	}
+	if key, ok := cutExportPrefix(name); ok {
+		img, err := e.m.swarmImage(key)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		return &swarmFile{img: img, release: release}, nil
+	}
 	if !strings.HasSuffix(name, pubSuffix) || !e.m.pool.Contains(name) {
+		release()
 		return nil, fmt.Errorf("%w: %s", backend.ErrNotExist, name)
 	}
-	return e.m.store.Open(name, true)
+	f, err := e.m.store.Open(name, true)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return &semFile{File: f, release: release}, nil
 }
 
 // Create is rejected: peers cannot write into the cache directory.
@@ -33,16 +56,25 @@ func (e exportStore) Remove(name string) error {
 	return fmt.Errorf("cachemgr: export is read-only: %s", name)
 }
 
-// Stat reports a published cache's size.
+// Stat reports a published cache's size (virtual size for swarm views).
 func (e exportStore) Stat(name string) (int64, error) {
+	if key, ok := cutExportPrefix(name); ok {
+		img, err := e.m.swarmImage(key)
+		if err != nil {
+			return 0, err
+		}
+		return img.Size(), nil
+	}
 	if !strings.HasSuffix(name, pubSuffix) || !e.m.pool.Contains(name) {
 		return 0, fmt.Errorf("%w: %s", backend.ErrNotExist, name)
 	}
 	return e.m.store.Stat(name)
 }
 
-// ServePeers starts exporting this node's published caches over rblock so
-// peer managers can pull them wholesale. Returns the bound address.
+// ServePeers starts exporting this node's caches over rblock: published
+// caches wholesale, plus chunk-wise "swarm:<key>" virtual views (with OpMap
+// chunk-map queries) of anything warming or published. Returns the bound
+// address.
 func (m *Manager) ServePeers(addr string) (string, error) {
 	m.mu.Lock()
 	if m.closed {
@@ -58,6 +90,7 @@ func (m *Manager) ServePeers(addr string) (string, error) {
 	srv := rblock.NewServer(exportStore{m}, rblock.ServerOpts{
 		ReadOnly: true,
 		Logf:     m.cfg.Logf,
+		Maps:     swarmMaps{m},
 	})
 	if m.cfg.Metrics != nil {
 		srv.RegisterMetrics(m.cfg.Metrics, metrics.Labels{"server": "peer-export"})
@@ -68,6 +101,11 @@ func (m *Manager) ServePeers(addr string) (string, error) {
 	}
 	m.mu.Lock()
 	m.exporter = srv
+	// The swarm identity is the address peers dial; with an OS-assigned
+	// port it is only known now, so default it from the bound address.
+	if m.cfg.SwarmSelf == "" {
+		m.cfg.SwarmSelf = bound
+	}
 	m.mu.Unlock()
 	m.logf("cachemgr: exporting published caches on %s", bound)
 	return bound, nil

@@ -12,20 +12,40 @@ import (
 	"vmicache/internal/rblock"
 )
 
-// warm produces the published cache for base under key. It tries each
-// configured peer first — pulling the already-warm cache wholesale over
-// rblock keeps the storage node off the critical path entirely — and falls
-// back to copy-on-read warming from the storage node. Either way the result
-// passes through publish: verify, sync, rename.
+// warm produces the published cache for base under key. With SwarmEnabled it
+// fetches chunk-level from whichever peers advertise each chunk (serving its
+// own progress back to them meanwhile); otherwise it tries each configured
+// peer wholesale — pulling the already-warm cache over rblock keeps the
+// storage node off the critical path entirely — and falls back to
+// copy-on-read warming from the storage node. Either way the result passes
+// through publish: verify, sync, rename.
 func (m *Manager) warm(base, key string) error {
 	tmpName := key + tmpSuffix
 	// A stale temp here is a previous failed warm; it was never published
 	// and is safe to overwrite.
 	m.store.Remove(tmpName) //nolint:errcheck // may not exist
 
+	if m.cfg.SwarmEnabled {
+		counts, err := m.swarmWarm(base, key, tmpName)
+		if err == nil {
+			if err = m.publish(key); err == nil {
+				m.stats.swarmWarms.Add(1)
+				m.logf("cachemgr: swarm-warmed %s: %d chunks from peers (%.1f MB), %d from storage (%.1f MB), %d reassigned",
+					key, counts.ChunksPeer, float64(counts.BytesPeer)/1e6,
+					counts.ChunksStorage, float64(counts.BytesStorage)/1e6, counts.Reassigned)
+				return nil
+			}
+			m.logf("cachemgr: swarm warm of %s failed verification: %v", key, err)
+		} else {
+			m.logf("cachemgr: swarm warm of %s: %v; falling back", key, err)
+		}
+		m.store.Remove(tmpName) //nolint:errcheck // reset for the fallback
+	}
+
 	for _, peer := range m.cfg.Peers {
 		m.stats.peerAttempts.Add(1)
 		n, err := m.fetchFromPeer(peer, key, tmpName)
+		m.notePeer(peer, n, err)
 		if err == nil {
 			if err = m.publish(key); err == nil {
 				m.stats.peerFetches.Add(1)
@@ -58,9 +78,11 @@ func (m *Manager) warm(base, key string) error {
 }
 
 // fetchFromPeer copies the published cache key from a peer manager's rblock
-// export into the local temp file. Returns bytes transferred.
+// export into the local temp file. Returns bytes transferred. Dialing retries
+// with capped exponential backoff: a peer restarting or still binding its
+// listener is a transient, not a reason to burn the whole attempt.
 func (m *Manager) fetchFromPeer(addr, key, tmpName string) (int64, error) {
-	c, err := rblock.Dial(addr, 0)
+	c, err := rblock.DialRetry(addr, 0, 3, rblock.DefaultBackoff, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -37,4 +37,8 @@ var (
 	// Completion attachment errors, mirroring the prefetch pair.
 	ErrNoSubclusters     = errors.New("qcow: completion requires the subcluster extension")
 	ErrCompletionEnabled = errors.New("qcow: completion already enabled")
+
+	// ErrBadChunkSize rejects non-positive chunk sizes in the chunk-map
+	// export (chunkmap.go).
+	ErrBadChunkSize = errors.New("qcow: chunk size must be positive")
 )

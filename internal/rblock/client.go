@@ -322,6 +322,26 @@ func (c *Client) roundTrip(req *frame) (*frame, error) {
 	return resp, nil
 }
 
+// FetchMap queries the chunk-validity map advertised for an export name (no
+// open handle needed). The returned bytes are an encoded swarm chunk map,
+// owned by the caller. Exports not currently advertised yield ErrNotFound;
+// servers without a map source yield ErrBadRequest.
+func (c *Client) FetchMap(name string) ([]byte, error) {
+	if name == "" || len(name) > MaxNameLen {
+		return nil, ErrBadRequest
+	}
+	req := getFrame()
+	req.op, req.payload = OpMap, []byte(name)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	enc := make([]byte, len(resp.payload))
+	copy(enc, resp.payload)
+	putFrame(resp)
+	return enc, nil
+}
+
 // RemoteFile is an open remote file implementing backend.File.
 type RemoteFile struct {
 	c      *Client

@@ -44,6 +44,13 @@ const (
 	OpStat
 	OpClose
 
+	// OpMap queries the chunk-validity map of an export by name (no open
+	// handle needed): the request payload is the export name, the reply
+	// payload an opaque encoded map (internal/swarm wire format). Servers
+	// without a map source answer StatusBadRequest; exports that are not
+	// currently advertised answer StatusNotFound.
+	OpMap
+
 	// replyFlag marks response frames.
 	replyFlag = 0x80
 )
@@ -55,6 +62,13 @@ const (
 	StatusIO
 	StatusBadRequest
 	StatusReadOnly
+
+	// StatusUnavail marks a request the server refuses *right now* but
+	// that may succeed later or elsewhere — a swarm chunk read over a
+	// span the serving cache has not warmed yet. Clients treat it as a
+	// per-request failure (reassign to another peer), never as a broken
+	// connection.
+	StatusUnavail
 )
 
 // Errors surfaced by the client.
@@ -64,6 +78,7 @@ var (
 	ErrRemoteIO   = errors.New("rblock: remote I/O error")
 	ErrBadRequest = errors.New("rblock: bad request")
 	ErrReadOnly   = errors.New("rblock: file is read-only")
+	ErrUnavail    = errors.New("rblock: requested range not available yet")
 	ErrClosed     = errors.New("rblock: connection closed")
 
 	// ErrClientBroken marks a client whose connection desynchronised (a
@@ -83,6 +98,8 @@ func statusErr(s uint32) error {
 		return ErrBadRequest
 	case StatusReadOnly:
 		return ErrReadOnly
+	case StatusUnavail:
+		return ErrUnavail
 	default:
 		return ErrRemoteIO
 	}

@@ -112,10 +112,18 @@ func (c *serverCounters) registerImage(name string, ic *imageCounters) {
 		"Payload bytes served from the export.", l, ic.bytesRead.Load)
 }
 
+// MapSource supplies chunk-validity maps for OpMap requests. The encoding is
+// opaque to rblock (internal/swarm defines the wire format); an error means
+// the named export is not currently advertised and yields StatusNotFound.
+type MapSource interface {
+	EncodedMap(name string) ([]byte, error)
+}
+
 // Server exports a Store over TCP.
 type Server struct {
 	store  backend.Store
 	rwsize int
+	maps   MapSource
 	stats  serverCounters
 
 	// payloads recycles rwsize payload buffers across requests — OpRead
@@ -142,6 +150,10 @@ type ServerOpts struct {
 	ReadOnly bool
 	// Logf, when non-nil, receives connection-level errors.
 	Logf func(format string, args ...any)
+	// Maps, when non-nil, answers OpMap chunk-map queries (the swarm
+	// piece-map advertisement). Servers without one reject OpMap with
+	// StatusBadRequest.
+	Maps MapSource
 }
 
 // NewServer returns a server exporting store.
@@ -157,6 +169,7 @@ func NewServer(store backend.Store, opts ServerOpts) *Server {
 	srv := &Server{
 		store:    store,
 		rwsize:   rw,
+		maps:     opts.Maps,
 		conns:    make(map[net.Conn]struct{}),
 		logf:     logf,
 		readOnly: opts.ReadOnly,
@@ -519,6 +532,9 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		ro := req.flags&1 != 0 || s.readOnly
 		f, err := s.store.Open(name, ro)
 		if err != nil {
+			if errors.Is(err, ErrUnavail) {
+				return fail(StatusUnavail)
+			}
 			return fail(StatusNotFound)
 		}
 		size, err := f.Size()
@@ -548,6 +564,12 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		n, err := oh.f.ReadAt(buf, int64(req.offset))
 		if err != nil && n == 0 && !errors.Is(err, io.EOF) {
 			s.payloads.put(bp)
+			if errors.Is(err, ErrUnavail) {
+				// The export refuses this range right now (a swarm read
+				// over a span the serving cache has not warmed): a
+				// per-request refusal, not a broken export.
+				return fail(StatusUnavail)
+			}
 			return fail(StatusIO)
 		}
 		resp.pooled = bp
@@ -607,6 +629,23 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 			return fail(StatusIO)
 		}
 		resp.aux = uint64(size)
+		return resp
+
+	case OpMap:
+		if s.maps == nil {
+			return fail(StatusBadRequest)
+		}
+		if len(req.payload) == 0 || len(req.payload) > MaxNameLen {
+			return fail(StatusBadRequest)
+		}
+		enc, err := s.maps.EncodedMap(string(req.payload))
+		if err != nil {
+			return fail(StatusNotFound)
+		}
+		if len(enc) > maxPayload {
+			return fail(StatusIO)
+		}
+		resp.payload = enc
 		return resp
 
 	case OpClose:

@@ -1,0 +1,117 @@
+package swarm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMapBasics(t *testing.T) {
+	m, err := NewMap(1<<20+5, 16) // 17 chunks, last one 5 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumChunks(); got != 17 {
+		t.Fatalf("NumChunks = %d, want 17", got)
+	}
+	if m.Has(0) || m.Has(16) {
+		t.Fatal("fresh map should be empty")
+	}
+	m.Set(0)
+	m.Set(16)
+	if !m.Has(0) || !m.Has(16) || m.Has(1) {
+		t.Fatal("Set/Has mismatch")
+	}
+	if got := m.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	// Out of range is invalid, and Set ignores it.
+	if m.Has(17) || m.Has(-1) {
+		t.Fatal("out-of-range chunk reported valid")
+	}
+	m.Set(17)
+	m.Set(-1)
+	if got := m.Count(); got != 2 {
+		t.Fatalf("Count after out-of-range Set = %d, want 2", got)
+	}
+	// Tail chunk span is clamped.
+	off, n := m.ChunkSpan(16)
+	if off != 1<<20 || n != 5 {
+		t.Fatalf("ChunkSpan(16) = (%d, %d), want (%d, 5)", off, n, 1<<20)
+	}
+	off, n = m.ChunkSpan(0)
+	if off != 0 || n != 1<<16 {
+		t.Fatalf("ChunkSpan(0) = (%d, %d), want (0, %d)", off, n, 1<<16)
+	}
+}
+
+func TestMapEncodeDecode(t *testing.T) {
+	m, _ := NewMap(3<<16, 16)
+	m.Set(1)
+	enc := m.Encode()
+	got, err := DecodeMap(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != m.Size || got.ChunkBits != m.ChunkBits || !bytes.Equal(got.Bits, m.Bits) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, m)
+	}
+	// Decoded map is a copy, not an alias.
+	enc[mapHeaderLen] = 0xff
+	if got.Bits[0] == 0xff {
+		t.Fatal("DecodeMap aliased the input")
+	}
+}
+
+func TestMapDecodeErrors(t *testing.T) {
+	m, _ := NewMap(1<<20, 16)
+	good := m.Encode()
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"short", good[:4], ErrBadMap},
+		{"truncated bitmap", good[:len(good)-1], ErrBadMap},
+		{"oversized bitmap", append(append([]byte{}, good...), 0), ErrBadMap},
+		{"bad chunk bits", func() []byte {
+			b := append([]byte{}, good...)
+			b[8] = 42
+			return b
+		}(), ErrBadChunkBits},
+		{"zero size", func() []byte {
+			b := append([]byte{}, good...)
+			for i := 0; i < 8; i++ {
+				b[i] = 0
+			}
+			return b
+		}(), ErrBadSize},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeMap(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewMapErrors(t *testing.T) {
+	if _, err := NewMap(0, 16); !errors.Is(err, ErrBadSize) {
+		t.Errorf("size 0: %v", err)
+	}
+	if _, err := NewMap(1<<20, 8); !errors.Is(err, ErrBadChunkBits) {
+		t.Errorf("chunkBits 8: %v", err)
+	}
+	if _, err := NewMap(1<<20, 31); !errors.Is(err, ErrBadChunkBits) {
+		t.Errorf("chunkBits 31: %v", err)
+	}
+}
+
+func TestEncodeBitmapMatchesMapEncode(t *testing.T) {
+	m, _ := NewMap(5<<16, 16)
+	m.Set(2)
+	m.Set(4)
+	if !bytes.Equal(EncodeBitmap(m.Size, m.ChunkBits, m.Bits), m.Encode()) {
+		t.Fatal("EncodeBitmap differs from Map.Encode")
+	}
+}
