@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet fmt build test race bench bench-baseline coverage
+.PHONY: check lint vet fmt build test race bench bench-baseline coverage integration
 
 # The full verification gate: lint (gofmt + vet + staticcheck when
 # installed), build, the plain test suite, and the race-detector pass (which
@@ -35,6 +35,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# integration launches real rblockd + vmicached processes on loopback ports
+# and drives a multi-node provisioning round end to end (cold warm with
+# dedup publication, manifest-first delta warm, restart persistence, and a
+# raw rblock manifest/chunk fetch). No docker, no fixed ports: every daemon
+# binds 127.0.0.1:0 and the test parses the bound address it prints.
+integration:
+	$(GO) test -tags integration -timeout 300s -count 1 ./integration/
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 0.5s .
 
@@ -46,15 +54,16 @@ bench:
 # transfers. -cpu 4 pins GOMAXPROCS so benchmark names (and the
 # stripped-suffix keys benchjson compares on) are machine-independent;
 # -benchtime 2s keeps run-to-run noise well under the 20% regression gate.
-# After refreshing, commit the new BENCH_pr7.json and keep ci.yml's
-# -baseline flag pointing at it.
+# After refreshing, commit the new BENCH_pr8.json and keep ci.yml's
+# -baseline flags pointing at it.
 bench-baseline:
 	( $(GO) test -run xxx \
 		-bench 'WarmRead|ColdFill|RoundTrip|PipelinedRead|SequentialColdRead|ServerRead' \
 		-benchmem -benchtime 2s -cpu 4 ./internal/qcow/ ./internal/rblock/ ; \
-	  $(GO) test -run xxx -bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead|SwarmFlashCrowd' \
+	  $(GO) test -run xxx \
+		-bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead|SwarmFlashCrowd|DedupManifestBuild|DedupDeltaTransfer' \
 		-benchmem -benchtime 2s -cpu 4 . ) \
-		| $(GO) run ./cmd/benchjson -out BENCH_pr7.json
+		| $(GO) run ./cmd/benchjson -out BENCH_pr8.json
 
 coverage:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -11,7 +11,9 @@ package vmicache
 // CPU costs. `cmd/expdriver` prints the complete curves.
 
 import (
+	"bytes"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -1183,4 +1185,47 @@ func BenchmarkSubclusterWarmRead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDedupManifestBuild measures the content-defined chunking rate:
+// how fast a published cache file can be hashed into a chunk manifest.
+// This is the fixed CPU cost dedup adds to every publication.
+func BenchmarkDedupManifestBuild(b *testing.B) {
+	const size = int64(8 << 20)
+	data := make([]byte, size)
+	rand.New(rand.NewSource(20130703)).Read(data) //nolint:errcheck // never fails
+	r := bytes.NewReader(data)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		man, err := dedup.Build(r, size, func(dedup.Entry, []byte) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if man.Length != size {
+			b.Fatalf("manifest covers %d of %d bytes", man.Length, size)
+		}
+	}
+}
+
+// BenchmarkDedupDeltaTransfer runs the two-node sibling-image experiment and
+// reports how many bytes the manifest-first warm moved for the v2 image next
+// to the true inter-image delta. delta-wire-MB is the CI-gated headline: it
+// must not grow, or delta transfers have stopped being delta-sized.
+func BenchmarkDedupDeltaTransfer(b *testing.B) {
+	var wire, trueDelta, one, sibling float64
+	for i := 0; i < b.N; i++ {
+		r, err := cluster.RunDedup(cluster.DedupParams{ImageSize: 2 << 20, Seed: 20130703})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire += float64(r.DeltaWire)
+		trueDelta += float64(r.TrueDelta)
+		one += float64(r.OneCacheUnique)
+		sibling += float64(r.SiblingUnique)
+	}
+	b.ReportMetric(wire/float64(b.N)/1e6, "delta-wire-MB")
+	b.ReportMetric(wire/trueDelta, "delta-amplification")
+	b.ReportMetric(sibling/one, "sibling-footprint-x")
 }

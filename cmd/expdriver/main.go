@@ -7,7 +7,7 @@
 //	expdriver [-scale F] [experiment ...]
 //
 // Experiments: table1 table2 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig14
-// sec6 swarm, or "all" (the default). -scale shrinks the workloads; reported
+// sec6 swarm dedup, or "all" (the default). -scale shrinks the workloads; reported
 // numbers are re-normalised to full scale, so the axes stay comparable to
 // the paper at any scale. -scale 1 reproduces the full-size experiment
 // (minutes of CPU).
@@ -28,7 +28,7 @@ import (
 var experiments = []string{
 	"table1", "table2", "fig2", "fig3", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig14", "sec6", "mixed", "cloud", "hetero", "snapshot",
-	"swarm",
+	"swarm", "dedup",
 }
 
 func main() {
@@ -129,6 +129,8 @@ func runOne(id string, scale float64) error {
 		fmt.Println(cluster.ExtSnapshotRestore(scale))
 	case "swarm":
 		fmt.Println(cluster.SwarmFlashCrowd(scale))
+	case "dedup":
+		fmt.Println(cluster.DedupSharing(scale))
 	case "hetero":
 		fmt.Println(cluster.ExtHeterogeneous(scale))
 	case "mixed":

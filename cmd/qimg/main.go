@@ -13,6 +13,8 @@
 //	qimg commit [-C dir] NAME                      (merge into backing)
 //	qimg convert [-C dir] [-c] SRC DST             (copy guest view; -c compresses)
 //	qimg disclosure [-C dir] NAME                  (cache fill-order spans)
+//	qimg dedup  [-C dir] FILE...                   (what-if chunk sharing report)
+//	qimg dedup  -store DIR                         (inspect a dedup store offline)
 //
 // NAME is resolved inside the working directory given by -C (default ".");
 // backing names recorded in image headers resolve in the same directory.
@@ -23,12 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"vmicache/internal/backend"
 	"vmicache/internal/boot"
 	"vmicache/internal/core"
+	"vmicache/internal/dedup"
 	"vmicache/internal/metrics"
 	"vmicache/internal/qcow"
 )
@@ -61,6 +65,8 @@ func main() {
 		err = cmdConvert(args)
 	case "disclosure":
 		err = cmdDisclosure(args)
+	case "dedup":
+		err = cmdDedup(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -87,7 +93,8 @@ commands:
   write   write guest bytes
   commit  merge an image's data into its backing image (qemu-img commit)
   convert copy an image's guest view into a new image (-c compresses)
-  disclosure  print a cache image's inferred future-access list (§7.3)`)
+  disclosure  print a cache image's inferred future-access list (§7.3)
+  dedup   chunk files and report sharing (-store inspects a dedup store)`)
 }
 
 // nsFor builds a namespace rooted at dir.
@@ -534,6 +541,87 @@ func cmdConvert(args []string) error {
 	fmt.Printf("converted %s -> %s (%d bytes%s)\n", srcName, dstName, outSize,
 		map[bool]string{true: ", compressed", false: ""}[*compress])
 	return nil
+}
+
+// cmdDedup either inspects an on-disk dedup store (-store; run it offline —
+// opening the store sweeps orphaned blobs, which would race a live daemon)
+// or chunks the listed files in memory and reports how much they would share
+// in one: the what-if tool for sizing a dedup deployment.
+func cmdDedup(args []string) error {
+	fs := flag.NewFlagSet("dedup", flag.ExitOnError)
+	dir := fs.String("C", ".", "working directory")
+	storeDir := fs.String("store", "", "dedup store directory to inspect (e.g. <cachedir>/dedup)")
+	fs.Parse(args) //nolint:errcheck
+
+	if *storeDir != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-store takes no file arguments")
+		}
+		s, err := dedup.OpenBlobStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		for _, name := range s.ManifestNames() {
+			m, ok := s.Manifest(name)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%s: %d chunks, %.1f MB, checksum %x\n",
+				name, len(m.Entries), float64(m.Length)/1e6, m.Checksum[:8])
+		}
+		st := s.Stats()
+		fmt.Printf("store: %d manifests, %d blobs; %.1f MB logical, %.1f MB unique raw, %.1f MB on disk (%.1f MB shared away)\n",
+			st.Manifests, st.Blobs, float64(st.LogicalBytes)/1e6, float64(st.UniqueRawBytes)/1e6,
+			float64(st.UniqueCompBytes)/1e6, float64(st.SharedBytes)/1e6)
+		return nil
+	}
+
+	if fs.NArg() == 0 {
+		return fmt.Errorf("expected file names (or -store DIR)")
+	}
+	seen := make(map[dedup.Key]uint32)
+	var logical, unique int64
+	for _, name := range fs.Args() {
+		f, err := os.Open(resolvePath(*dir, name))
+		if err != nil {
+			return err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		var fresh int64
+		m, err := dedup.Build(f, fi.Size(), func(e dedup.Entry, _ []byte) error {
+			if _, ok := seen[e.Hash]; !ok {
+				seen[e.Hash] = e.Len
+				fresh += int64(e.Len)
+			}
+			return nil
+		})
+		f.Close() //nolint:errcheck
+		if err != nil {
+			return err
+		}
+		logical += m.Length
+		unique += fresh
+		fmt.Printf("%s: %d chunks, %.1f MB, %.1f MB new\n",
+			name, len(m.Entries), float64(m.Length)/1e6, float64(fresh)/1e6)
+	}
+	shared := logical - unique
+	fmt.Printf("total: %.1f MB logical, %.1f MB unique, %.1f MB shared (%.1f%%)\n",
+		float64(logical)/1e6, float64(unique)/1e6, float64(shared)/1e6,
+		100*float64(shared)/float64(max(logical, 1)))
+	return nil
+}
+
+// resolvePath joins a name into the working directory unless it is already
+// absolute.
+func resolvePath(dir, name string) string {
+	if filepath.IsAbs(name) {
+		return name
+	}
+	return filepath.Join(dir, name)
 }
 
 func cmdDisclosure(args []string) error {

@@ -27,6 +27,8 @@
 //	-metrics-addr A  serve /metrics, /metrics.json and /debug/pprof on A
 //	-pprof-mutex-frac N   sample 1-in-N mutex contention events (0 = off)
 //	-pprof-block-rate NS  sample blocking events slower than NS ns (0 = off)
+//	-dedup           keep a content-addressed chunk store; peer warms become
+//	                 manifest-first and move only the chunks this node lacks
 //	-swarm           warm cold caches chunk-wise from every peer at once
 //	-tracker URL     swarm announce tracker base URL (http://host:port)
 //	-tracker-listen A     also host the announce tracker on A
@@ -77,6 +79,7 @@ func main() {
 	status := fs.Duration("status", 0, "periodic status interval (0 = only on shutdown)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
+	dedupOn := fs.Bool("dedup", false, "keep a content-addressed chunk store: sibling caches share storage, peer warms move only missing chunks")
 	swarmOn := fs.Bool("swarm", false, "warm cold caches via chunk-level swarm transfer from peers")
 	tracker := fs.String("tracker", "", "swarm announce tracker base URL, e.g. http://10.0.0.1:9091")
 	trackerListen := fs.String("tracker-listen", "", "also host the swarm announce tracker over HTTP on this address")
@@ -163,6 +166,7 @@ func main() {
 		Backing:        rblock.RemoteStore{C: client},
 		Peers:          splitList(*peers),
 		Metrics:        reg,
+		Dedup:          *dedupOn,
 		SwarmEnabled:   *swarmOn,
 		SwarmSelf:      *swarmSelf,
 		SwarmTracker:   announcer,

@@ -36,6 +36,7 @@ import (
 
 	"vmicache/internal/backend"
 	"vmicache/internal/core"
+	"vmicache/internal/dedup"
 	"vmicache/internal/metrics"
 	"vmicache/internal/qcow"
 	"vmicache/internal/rblock"
@@ -112,6 +113,15 @@ type Config struct {
 	// with a retryable "unavailable" status rather than queued, so
 	// fetching peers reassign to another source instead of convoying.
 	PeerConcurrency int
+
+	// Dedup attaches a content-addressed chunk store (<Dir>/dedup) to the
+	// cache lifecycle: every publication derives a chunk manifest, sibling
+	// caches share chunk storage, evicted caches rehydrate from local
+	// blobs without touching the network, and peer warms become
+	// manifest-first — only chunks this pool does not already hold move,
+	// compressed. The blob tree's physical bytes are charged against
+	// Budget once, however many caches share them.
+	Dedup bool
 
 	// SwarmEnabled switches cold warms from wholesale peer pulls to
 	// chunk-level multi-source fetching: each chunk is pulled from
@@ -211,6 +221,11 @@ type counters struct {
 	discardedTemps atomic.Int64
 	droppedCorrupt atomic.Int64
 
+	dedupRehydrations atomic.Int64
+	dedupDeltaWarms   atomic.Int64
+	dedupDeltaBytes   atomic.Int64
+	dedupReusedBytes  atomic.Int64
+
 	swarmWarms         atomic.Int64
 	swarmChunksPeer    atomic.Int64
 	swarmChunksStorage atomic.Int64
@@ -237,6 +252,12 @@ type Stats struct {
 	DiscardedTemps int64 // crashed warms discarded at startup
 	DroppedCorrupt int64 // published files failing verification at startup
 
+	DedupRehydrations int64 // caches rebuilt from local blobs, zero network
+	DedupDeltaWarms   int64 // caches warmed manifest-first from peers
+	DedupDeltaBytes   int64 // compressed bytes actually moved by delta warms
+	DedupReusedBytes  int64 // raw bytes delta warms reused from local blobs
+	Dedup             dedup.StoreStats
+
 	SwarmWarms         int64 // caches warmed through chunk-level swarm fetch
 	SwarmChunksPeer    int64 // swarm chunks fetched from peers
 	SwarmChunksStorage int64 // swarm chunks fetched from the storage node
@@ -246,6 +267,7 @@ type Stats struct {
 
 	PoolHits, PoolMisses, Evictions int64
 	Used, Budget                    int64
+	Reserved                        int64 // dedup blob bytes charged against the budget
 	Resident                        int
 
 	// Peers details every peer this node has transferred from, keyed by
@@ -259,6 +281,13 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "caches: %d resident, %d/%d bytes used", s.Resident, s.Used, s.Budget)
 	fmt.Fprintf(&b, "\nwarm: %d cold (CoR), %d from peers (%.1f MB), %d peer fallbacks, %d failures",
 		s.ColdWarms, s.PeerFetches, float64(s.PeerFetchBytes)/1e6, s.PeerFallbacks, s.WarmFailures)
+	if s.Dedup.Manifests > 0 || s.DedupRehydrations+s.DedupDeltaWarms > 0 {
+		fmt.Fprintf(&b, "\ndedup: %d manifests, %d blobs, %d/%d unique/logical bytes (%.1f%% shared), %d rehydrations, %d delta warms (%.1f MB wire, %.1f MB reused)",
+			s.Dedup.Manifests, s.Dedup.Blobs, s.Dedup.UniqueCompBytes, s.Dedup.LogicalBytes,
+			100*float64(s.Dedup.SharedBytes)/float64(max(s.Dedup.LogicalBytes, 1)),
+			s.DedupRehydrations, s.DedupDeltaWarms,
+			float64(s.DedupDeltaBytes)/1e6, float64(s.DedupReusedBytes)/1e6)
+	}
 	if s.SwarmWarms > 0 || s.SwarmChunksPeer+s.SwarmChunksStorage > 0 {
 		fmt.Fprintf(&b, "\nswarm: %d warms, %d chunks from peers (%.1f MB), %d from storage (%.1f MB), %d reassigned",
 			s.SwarmWarms, s.SwarmChunksPeer, float64(s.SwarmBytesPeer)/1e6,
@@ -300,6 +329,9 @@ type Manager struct {
 	scratch     *backend.MemStore
 	ns          *core.Namespace
 	pool        *core.Pool
+
+	// dstore is the content-addressed chunk store, nil unless Config.Dedup.
+	dstore *dedup.BlobStore
 
 	mu       sync.Mutex
 	warming  map[string]*warmState
@@ -388,6 +420,9 @@ func New(cfg Config) (*Manager, error) {
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
+	if err := m.openDedup(); err != nil {
+		return nil, err
+	}
 	if cfg.Metrics != nil {
 		m.registerMetrics(cfg.Metrics)
 	}
@@ -444,6 +479,42 @@ func (m *Manager) registerMetrics(r *metrics.Registry) {
 		func() int64 { return int64(m.pool.Pinned()) })
 	r.RegisterHistogram("vmicache_cachemgr_warm_duration_ns",
 		"End-to-end duration of successful warms (peer or copy-on-read).", l, &s.warmDuration)
+
+	if m.dstore != nil {
+		r.CounterFunc("vmicache_dedup_rehydrations_total",
+			"Caches rebuilt from locally-held chunks with zero network traffic.", l,
+			s.dedupRehydrations.Load)
+		r.CounterFunc("vmicache_dedup_delta_warms_total",
+			"Caches warmed manifest-first from peers.", l, s.dedupDeltaWarms.Load)
+		r.CounterFunc("vmicache_dedup_delta_bytes_total",
+			"Compressed bytes actually moved by delta warms.", l, s.dedupDeltaBytes.Load)
+		r.CounterFunc("vmicache_dedup_reused_bytes_total",
+			"Raw bytes delta warms reused from chunks already held.", l, s.dedupReusedBytes.Load)
+		r.GaugeFunc("vmicache_dedup_manifests",
+			"Chunk manifests held by the blob store.", l,
+			func() int64 { return int64(m.dstore.Stats().Manifests) })
+		r.GaugeFunc("vmicache_dedup_blobs",
+			"Unique chunks held by the blob store.", l,
+			func() int64 { return int64(m.dstore.Stats().Blobs) })
+		r.GaugeFunc("vmicache_dedup_logical_bytes",
+			"Sum of manifest lengths (bytes the caches would use unshared).", l,
+			func() int64 { return m.dstore.Stats().LogicalBytes })
+		r.GaugeFunc("vmicache_dedup_unique_bytes",
+			"Compressed bytes the blob tree actually occupies.", l,
+			m.dstore.UniqueCompBytes)
+		r.GaugeFunc("vmicache_dedup_shared_bytes",
+			"Logical bytes deduplicated away by chunk sharing.", l,
+			func() int64 { return m.dstore.Stats().SharedBytes })
+		r.GaugeFunc("vmicache_dedup_ratio_percent",
+			"Shared bytes as a percentage of logical bytes.", l,
+			func() int64 {
+				st := m.dstore.Stats()
+				if st.LogicalBytes == 0 {
+					return 0
+				}
+				return 100 * st.SharedBytes / st.LogicalBytes
+			})
+	}
 
 	r.CounterFunc("vmicache_swarm_warms_total",
 		"Caches warmed through chunk-level swarm fetch.", l, s.swarmWarms.Load)
@@ -694,6 +765,12 @@ func (m *Manager) Stats() Stats {
 	hits, misses, evictions := m.pool.Stats()
 	sc := m.swarmCounts()
 	return Stats{
+		DedupRehydrations: m.stats.dedupRehydrations.Load(),
+		DedupDeltaWarms:   m.stats.dedupDeltaWarms.Load(),
+		DedupDeltaBytes:   m.stats.dedupDeltaBytes.Load(),
+		DedupReusedBytes:  m.stats.dedupReusedBytes.Load(),
+		Dedup:             m.DedupStats(),
+
 		SwarmWarms:         m.stats.swarmWarms.Load(),
 		SwarmChunksPeer:    sc.ChunksPeer,
 		SwarmChunksStorage: sc.ChunksStorage,
@@ -718,6 +795,7 @@ func (m *Manager) Stats() Stats {
 		Evictions:      evictions,
 		Used:           m.pool.Used(),
 		Budget:         m.pool.Capacity(),
+		Reserved:       m.pool.Reserved(),
 		Resident:       m.pool.Len(),
 	}
 }

@@ -1,0 +1,431 @@
+package cachemgr
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/dedup"
+	"vmicache/internal/rblock"
+)
+
+// The dedup tier: a per-pool content-addressed blob store under
+// <Dir>/dedup. Every publication derives a chunk manifest (content-defined
+// boundaries → SHA-256 → compressed blobs), so sibling caches share chunk
+// storage, evicted caches can be rehydrated locally with zero network
+// traffic, and peer transfer becomes manifest-first — fetch only the
+// chunks this pool does not already hold, from any cache of any image.
+
+const (
+	// dedupDirName is the blob store's subdirectory inside the cache dir.
+	dedupDirName = "dedup"
+
+	// retiredSuffix names the manifest kept alive across an explicit
+	// Invalidate so the rebuilt image's publication only stores changed
+	// chunks; dropped once the replacement commits.
+	retiredSuffix = ".prev"
+)
+
+// openDedup attaches the blob store when Config.Dedup is set; called by
+// New after recovery so the startup orphan sweep sees the final manifest
+// set.
+func (m *Manager) openDedup() error {
+	if !m.cfg.Dedup {
+		return nil
+	}
+	ds, err := dedup.OpenBlobStore(filepath.Join(m.dir, dedupDirName))
+	if err != nil {
+		return fmt.Errorf("cachemgr: opening dedup store: %w", err)
+	}
+	m.dstore = ds
+	m.dedupReserve()
+	return nil
+}
+
+// dedupReserve charges the blob tree's physical bytes against the pool
+// budget. The blob store holds each unique chunk once however many caches
+// (pinned or not) reference it, so this is exactly the charge-once
+// accounting — summing per-cache manifest sizes would double-count every
+// shared chunk. When the reservation alone squeezes out every unpinned
+// cache and still does not fit, manifests of caches no longer resident are
+// shed (their cache file is already gone; the dedup tier is their only
+// remaining cost) until it does.
+func (m *Manager) dedupReserve() {
+	if m.dstore == nil {
+		return
+	}
+	capacity := m.pool.Capacity()
+	for {
+		// Shed manifests of non-resident caches while the blob tree would
+		// not fit beside the resident files — shedding first, so the
+		// reservation never evicts a live cache to keep blobs of a dead
+		// one.
+		if capacity > 0 {
+			for _, name := range m.dstore.ManifestNames() {
+				if m.pool.Used()+m.dstore.UniqueCompBytes() <= capacity {
+					break
+				}
+				if !m.pool.Contains(name) {
+					if err := m.dstore.Drop(name); err != nil {
+						m.logf("cachemgr: shedding manifest %s: %v", name, err)
+					} else {
+						m.logf("cachemgr: shed manifest %s under budget pressure", name)
+					}
+				}
+			}
+		}
+		evicted := m.pool.Reserve(m.dstore.UniqueCompBytes())
+		if capacity <= 0 || len(evicted) == 0 {
+			return
+		}
+		// The reservation evicted caches; their manifests are shedding
+		// candidates now, so take another pass. Terminates: each round
+		// either evicts pool entries (finite) or returns.
+	}
+}
+
+// dedupPublish derives (or confirms) the chunk manifest of a
+// just-published cache file. When the committed manifest's checksum
+// already matches the file — a rehydration or delta warm committed it
+// before the qcow verification — only the cheap whole-file hash runs.
+// Manifest failures are logged, not fatal: the cache file serves fine
+// without its dedup tier.
+func (m *Manager) dedupPublish(key, pubPath string) error {
+	f, err := os.Open(pubPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // read-only handle
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if have, ok := m.dstore.Manifest(key); ok && have.Length == fi.Size() {
+		if sum, err := fileChecksum(f, fi.Size()); err == nil && sum == have.Checksum {
+			m.dstore.Drop(key + retiredSuffix) //nolint:errcheck // may not exist
+			return nil
+		}
+	}
+	var held []dedup.Key
+	defer func() { m.dstore.Release(held) }()
+	man, err := dedup.Build(f, fi.Size(), func(e dedup.Entry, raw []byte) error {
+		if err := m.dstore.Put(e.Hash, raw); err != nil {
+			return err
+		}
+		held = append(held, e.Hash)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Committing under the same key replaces a stale manifest (a rebuilt
+	// base image: same key, different checksum) while chunks shared across
+	// versions survive — only the changed chunks were actually stored.
+	if err := m.dstore.Commit(key, man); err != nil {
+		return err
+	}
+	m.dstore.Drop(key + retiredSuffix) //nolint:errcheck // may not exist
+	return nil
+}
+
+func fileChecksum(f *os.File, size int64) (dedup.Key, error) {
+	h := sha256.New()
+	buf := make([]byte, 256<<10)
+	for off := int64(0); off < size; {
+		n := int64(len(buf))
+		if rem := size - off; rem < n {
+			n = rem
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return dedup.Key{}, err
+		}
+		h.Write(buf[:n]) //nolint:errcheck // hash writes cannot fail
+		off += n
+	}
+	return dedup.Key(h.Sum(nil)), nil
+}
+
+// rehydrate rebuilds the cache file for key from locally-held blobs — the
+// zero-network path for a cache whose file was evicted while its manifest
+// survived. Reports whether the temp file was materialized; on blob
+// corruption the manifest is dropped so the warm falls through to the
+// network paths instead of retrying a poisoned rebuild.
+func (m *Manager) rehydrate(key, tmpName string) bool {
+	man, ok := m.dstore.Manifest(key)
+	if !ok {
+		return false
+	}
+	var held []dedup.Key
+	defer func() { m.dstore.Release(held) }()
+	for _, e := range man.Entries {
+		if !m.dstore.Stage(e.Hash) {
+			m.logf("cachemgr: rehydrating %s: blob missing; dropping manifest", key)
+			m.dstore.Drop(key) //nolint:errcheck // best-effort cleanup
+			return false
+		}
+		held = append(held, e.Hash)
+	}
+	if err := m.materialize(tmpName, man); err != nil {
+		m.logf("cachemgr: rehydrating %s: %v; dropping manifest", key, err)
+		m.store.Remove(tmpName) //nolint:errcheck // partial materialization
+		m.dstore.Drop(key)      //nolint:errcheck // best-effort cleanup
+		return false
+	}
+	return true
+}
+
+// materialize writes a manifest's content into tmpName from the blob
+// store, verifying the whole-image checksum as it goes.
+func (m *Manager) materialize(tmpName string, man *dedup.Manifest) error {
+	f, err := m.store.Create(tmpName)
+	if err != nil {
+		return err
+	}
+	whole := sha256.New()
+	var off int64
+	for _, e := range man.Entries {
+		raw, err := m.dstore.ReadBlob(e.Hash)
+		if err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return err
+		}
+		if int64(len(raw)) != int64(e.Len) {
+			f.Close() //nolint:errcheck // already failing
+			return fmt.Errorf("cachemgr: blob %v: %d bytes, manifest says %d", e.Hash, len(raw), e.Len)
+		}
+		if err := backend.WriteFull(f, raw, off); err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return err
+		}
+		whole.Write(raw) //nolint:errcheck // hash writes cannot fail
+		off += int64(len(raw))
+	}
+	if sum := dedup.Key(whole.Sum(nil)); sum != man.Checksum {
+		f.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("cachemgr: materialized image fails manifest checksum")
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return err
+	}
+	return f.Close()
+}
+
+// deltaWarm is the manifest-first peer transfer: poll the configured peers
+// for key's manifest, diff it against the blobs this pool already holds —
+// from any cache of any image — and fetch only the missing chunks,
+// compressed, spreading the fetches over every peer that advertises the
+// manifest (each holder has every chunk, so unlike the swarm's
+// rarest-first partial maps the spread is plain round-robin with
+// reassignment on failure). The blobs and manifest commit before the qcow
+// verification so a publish failure still leaves the chunks shared.
+func (m *Manager) deltaWarm(key, tmpName string) (wire, reused int64, err error) {
+	type holder struct {
+		addr string
+		c    *rblock.Client
+	}
+	var man *dedup.Manifest
+	var holders []holder
+	defer func() {
+		for _, h := range holders {
+			h.c.Close() //nolint:errcheck // transfer finished or failed
+		}
+	}()
+	for _, addr := range m.cfg.Peers {
+		c, derr := rblock.DialRetry(addr, 0, 2, rblock.DefaultBackoff, nil)
+		if derr != nil {
+			m.notePeer(addr, 0, derr)
+			continue
+		}
+		c.SetTimeout(m.cfg.PeerTimeout)
+		enc, ferr := c.FetchManifest(key)
+		if ferr != nil {
+			if !errors.Is(ferr, rblock.ErrNotFound) && !errors.Is(ferr, rblock.ErrBadRequest) {
+				m.notePeer(addr, 0, ferr)
+			}
+			c.Close() //nolint:errcheck // unusable for this transfer
+			continue
+		}
+		mm, merr := dedup.DecodeManifest(enc)
+		if merr != nil || (man != nil && mm.Checksum != man.Checksum) {
+			c.Close() //nolint:errcheck // disagreeing or corrupt manifest
+			continue
+		}
+		if man == nil {
+			man = mm
+		}
+		holders = append(holders, holder{addr: addr, c: c})
+	}
+	if man == nil {
+		return 0, 0, fmt.Errorf("cachemgr: no peer advertises a manifest for %s", key)
+	}
+
+	// Stage what is already here; collect what must move.
+	var held []dedup.Key
+	committed := false
+	defer func() {
+		m.dstore.Release(held)
+		if !committed {
+			m.store.Remove(tmpName) //nolint:errcheck // failed transfer
+		}
+	}()
+	var heldMu sync.Mutex
+	seen := make(map[dedup.Key]bool, len(man.Entries))
+	var missing []dedup.Key
+	for _, e := range man.Entries {
+		if seen[e.Hash] {
+			continue
+		}
+		seen[e.Hash] = true
+		if m.dstore.Stage(e.Hash) {
+			held = append(held, e.Hash)
+			reused += int64(e.Len)
+		} else {
+			missing = append(missing, e.Hash)
+		}
+	}
+
+	// Fetch the delta, a small worker pool spreading chunk requests
+	// round-robin across the manifest holders, reassigning on failure.
+	workers := m.cfg.SwarmWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(missing) && len(missing) > 0 {
+		workers = len(missing)
+	}
+	var next atomic.Int64
+	var wireBytes atomic.Int64
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(missing) {
+					return
+				}
+				k := missing[i]
+				var comp []byte
+				var ferr error
+				for attempt := 0; attempt < len(holders); attempt++ {
+					h := holders[(i+attempt)%len(holders)]
+					comp, _, ferr = h.c.FetchChunk([rblock.HashLen]byte(k))
+					m.notePeer(h.addr, int64(len(comp)), ferr)
+					if ferr == nil {
+						break
+					}
+				}
+				if ferr != nil {
+					errs <- fmt.Errorf("cachemgr: chunk %v: %w", k, ferr)
+					return
+				}
+				// PutCompressed hash-verifies before landing on disk, so
+				// a corrupt transfer dies here, and takes the stage hold
+				// that keeps the chunk alive until release.
+				if perr := m.dstore.PutCompressed(k, comp); perr != nil {
+					errs <- perr
+					return
+				}
+				heldMu.Lock()
+				held = append(held, k)
+				heldMu.Unlock()
+				wireBytes.Add(int64(len(comp)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return wireBytes.Load(), reused, err
+	}
+	wire = wireBytes.Load()
+
+	if err := m.materialize(tmpName, man); err != nil {
+		return wire, reused, err
+	}
+	// Blobs and manifest are content-verified already; commit them before
+	// the qcow publication so even a verification failure leaves the
+	// chunks shared for the next attempt.
+	if err := m.dstore.Commit(key, man); err != nil {
+		return wire, reused, err
+	}
+	m.dstore.Drop(key + retiredSuffix) //nolint:errcheck // may not exist
+	committed = true
+	return wire, reused, nil
+}
+
+// Invalidate drops the published cache and manifest for a rebuilt base
+// image. The manifest is retired, not deleted: its chunks stay alive until
+// the rebuilt image publishes, so the re-publication stores only the
+// chunks that actually changed. Sessions already attached keep serving the
+// old bytes through their open handles; new Acquires warm the rebuilt
+// base from source.
+func (m *Manager) Invalidate(base string) error {
+	key := m.KeyFor(base)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	ws := m.warming[key]
+	m.mu.Unlock()
+	if ws != nil {
+		<-ws.done // let the in-flight warm settle; its output is stale
+	}
+	if m.pool.Remove(key) {
+		m.closeSwarmExport(key)
+		if err := os.Remove(filepath.Join(m.dir, key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		m.logf("cachemgr: invalidated %s", key)
+	}
+	if m.dstore != nil {
+		if man, ok := m.dstore.Manifest(key); ok {
+			if err := m.dstore.Commit(key+retiredSuffix, man); err != nil {
+				m.logf("cachemgr: retiring manifest %s: %v", key, err)
+			}
+			if err := m.dstore.Drop(key); err != nil {
+				return err
+			}
+		}
+		m.dedupReserve()
+	}
+	return nil
+}
+
+// DedupStats snapshots the blob store; zero when dedup is disabled.
+func (m *Manager) DedupStats() dedup.StoreStats {
+	if m.dstore == nil {
+		return dedup.StoreStats{}
+	}
+	return m.dstore.Stats()
+}
+
+// dedupExport answers peers' OpManifest/OpChunk queries. Manifests are
+// advertised only for caches this node could also serve wholesale
+// (published and resident); chunks are served by pure content address —
+// whichever cache brought them in, that is the cross-image sharing.
+type dedupExport struct{ m *Manager }
+
+func (d dedupExport) EncodedManifest(name string) ([]byte, error) {
+	if !d.m.pool.Contains(name) {
+		return nil, fmt.Errorf("%w: %s", backend.ErrNotExist, name)
+	}
+	man, ok := d.m.dstore.Manifest(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", backend.ErrNotExist, name)
+	}
+	return man.Encode(), nil
+}
+
+func (d dedupExport) ChunkBlob(hash [rblock.HashLen]byte) ([]byte, int64, error) {
+	return d.m.dstore.ReadCompressed(dedup.Key(hash))
+}

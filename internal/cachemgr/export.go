@@ -87,10 +87,16 @@ func (m *Manager) ServePeers(addr string) (string, error) {
 	}
 	m.mu.Unlock()
 
+	// A typed-nil dedupExport must not become a non-nil ChunkSource.
+	var chunks rblock.ChunkSource
+	if m.dstore != nil {
+		chunks = dedupExport{m}
+	}
 	srv := rblock.NewServer(exportStore{m}, rblock.ServerOpts{
 		ReadOnly: true,
 		Logf:     m.cfg.Logf,
 		Maps:     swarmMaps{m},
+		Chunks:   chunks,
 	})
 	if m.cfg.Metrics != nil {
 		srv.RegisterMetrics(m.cfg.Metrics, metrics.Labels{"server": "peer-export"})

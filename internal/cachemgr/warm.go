@@ -25,6 +25,40 @@ func (m *Manager) warm(base, key string) error {
 	// and is safe to overwrite.
 	m.store.Remove(tmpName) //nolint:errcheck // may not exist
 
+	if m.dstore != nil {
+		// Cheapest first: an evicted cache whose manifest survived rebuilds
+		// from local blobs without touching the network.
+		if m.rehydrate(key, tmpName) {
+			if err := m.publish(key); err == nil {
+				m.stats.dedupRehydrations.Add(1)
+				m.logf("cachemgr: rehydrated %s from local chunks", key)
+				return nil
+			} else {
+				m.logf("cachemgr: rehydration of %s failed verification: %v", key, err)
+			}
+			m.store.Remove(tmpName) //nolint:errcheck // reset for the fallback
+		}
+		// Manifest-first peer transfer: fetch only the chunks this pool
+		// does not already hold, from any peer advertising the manifest.
+		if len(m.cfg.Peers) > 0 {
+			wire, reused, err := m.deltaWarm(key, tmpName)
+			if err == nil {
+				if err = m.publish(key); err == nil {
+					m.stats.dedupDeltaWarms.Add(1)
+					m.stats.dedupDeltaBytes.Add(wire)
+					m.stats.dedupReusedBytes.Add(reused)
+					m.logf("cachemgr: delta-warmed %s: %.1f MB over the wire, %.1f MB reused locally",
+						key, float64(wire)/1e6, float64(reused)/1e6)
+					return nil
+				}
+				m.logf("cachemgr: delta warm of %s failed verification: %v", key, err)
+			} else {
+				m.logf("cachemgr: delta warm of %s: %v; falling back", key, err)
+			}
+			m.store.Remove(tmpName) //nolint:errcheck // reset for the fallback
+		}
+	}
+
 	if m.cfg.SwarmEnabled {
 		counts, err := m.swarmWarm(base, key, tmpName)
 		if err == nil {
@@ -230,6 +264,14 @@ func (m *Manager) publish(key string) error {
 	m.stats.published.Add(1)
 	for _, name := range evicted {
 		m.logf("cachemgr: %s displaced %s", key, name)
+	}
+	if m.dstore != nil {
+		// Derive (or confirm) the chunk manifest. Non-fatal: the published
+		// cache serves fine without its dedup tier.
+		if err := m.dedupPublish(key, pubPath); err != nil {
+			m.logf("cachemgr: dedup manifest for %s: %v", key, err)
+		}
+		m.dedupReserve()
 	}
 	return nil
 }

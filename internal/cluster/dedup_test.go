@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDedupBounds is the acceptance bar for the content-addressed dedup
+// tier, on real TCP nodes: (a) two sibling caches on one node must occupy
+// less than 1.3× one cache's blob footprint, and (b) pulling the sibling
+// from a peer when its predecessor is already held must move at most 1.2×
+// the true inter-cache delta over the wire.
+func TestDedupBounds(t *testing.T) {
+	sizes := []int64{4 << 20, 16 << 20}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, size := range sizes {
+		r, err := RunDedup(DedupParams{ImageSize: size, Seed: expSeed, Verify: true})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		t.Logf("size %3d MB: one cache %.2f MB, siblings %.2f MB (%.2f×); "+
+			"true delta %.2f MB, wire %.2f MB (%.2f×), full pull %.2f MB, in %v",
+			size>>20, float64(r.OneCacheUnique)/1e6, float64(r.SiblingUnique)/1e6,
+			r.FootprintRatio(), float64(r.TrueDelta)/1e6, float64(r.DeltaWire)/1e6,
+			r.DeltaRatio(), float64(r.FullWire)/1e6, r.Elapsed.Round(time.Millisecond))
+		if r.FootprintRatio() >= 1.3 {
+			t.Errorf("size %d: sibling footprint %.2f× one cache, above the 1.3× bar", size, r.FootprintRatio())
+		}
+		if r.DeltaRatio() > 1.2 {
+			t.Errorf("size %d: v2 moved %.2f× the true delta, above the 1.2× bar", size, r.DeltaRatio())
+		}
+		// Sanity: the first pull really moved the whole image, so the
+		// delta pull's saving is dedup, not a broken counter.
+		if r.FullWire < r.ImageSize {
+			t.Errorf("size %d: full pull moved only %d bytes for a %d-byte image", size, r.FullWire, r.ImageSize)
+		}
+		if r.SharedBytes == 0 || r.ReusedBytes == 0 {
+			t.Errorf("size %d: nothing shared (%d) or reused (%d)", size, r.SharedBytes, r.ReusedBytes)
+		}
+	}
+}

@@ -515,6 +515,51 @@ func TestPoolPinBlocksEviction(t *testing.T) {
 	}
 }
 
+func TestPoolReserve(t *testing.T) {
+	p := NewPool(100)
+	p.Add("a", 40) //nolint:errcheck
+	p.Add("b", 40) //nolint:errcheck
+	// A reservation that still fits evicts nothing.
+	if ev := p.Reserve(20); len(ev) != 0 || p.Reserved() != 20 {
+		t.Fatalf("fitting reserve evicted %v (reserved=%d)", ev, p.Reserved())
+	}
+	// Growing it past the budget evicts LRU entries until used+reserved
+	// fits again.
+	if ev := p.Reserve(40); len(ev) != 1 || ev[0] != "a" {
+		t.Fatalf("reserve 40 evicted %v, want [a]", ev)
+	}
+	if p.Used() != 40 || p.Reserved() != 40 {
+		t.Fatalf("used=%d reserved=%d", p.Used(), p.Reserved())
+	}
+	// The reservation replaces, not accumulates: shrinking it back makes
+	// room without any eviction.
+	if ev := p.Reserve(10); len(ev) != 0 || p.Reserved() != 10 {
+		t.Fatalf("shrink evicted %v (reserved=%d)", ev, p.Reserved())
+	}
+	// Adds respect the standing reservation: 40+50+40+10 > 100, and
+	// evicting LRU "b" brings used+reserved back to exactly 100.
+	p.Add("c", 50) //nolint:errcheck
+	if ev, _ := p.Add("d", 40); len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("add under reservation evicted %v, want [b]", ev)
+	}
+	// Pinned entries survive even a reservation larger than the budget;
+	// the pool just stays over.
+	p.Pin("c")
+	p.Pin("d")
+	if ev := p.Reserve(200); len(ev) != 0 {
+		t.Fatalf("all-pinned reserve evicted %v", ev)
+	}
+	if !p.Contains("c") || !p.Contains("d") {
+		t.Fatal("pinned entries lost to a reservation")
+	}
+	// Unbounded pools ignore reservations entirely.
+	u := NewPool(0)
+	u.Add("x", 1<<40) //nolint:errcheck
+	if ev := u.Reserve(1 << 50); len(ev) != 0 {
+		t.Fatalf("unbounded reserve evicted %v", ev)
+	}
+}
+
 func TestCreateBaseCompressed(t *testing.T) {
 	nfs := backend.NewMemStore()
 	ns := NewNamespace("nfs", nfs)

@@ -13,6 +13,7 @@ type Pool struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
+	reserved int64 // externally-accounted bytes (see Reserve)
 	entries  map[string]*poolEntry
 	head     *poolEntry // most recently used
 	tail     *poolEntry // least recently used
@@ -42,11 +43,68 @@ func NewPool(capacity int64) *Pool {
 // Capacity reports the byte budget.
 func (p *Pool) Capacity() int64 { return p.capacity }
 
-// Used reports the bytes currently held.
+// Used reports the bytes currently held by entries (excluding any external
+// reservation).
 func (p *Pool) Used() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.used
+}
+
+// Reserved reports the current external reservation.
+func (p *Pool) Reserved() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reserved
+}
+
+// Reserve charges extra externally-accounted bytes against the capacity —
+// cachemgr's dedup blob tier, whose chunks are shared by many caches
+// (pinned or not) and must be charged exactly once, not once per
+// referencing cache. The value replaces any previous reservation (callers
+// pass the external total, not a delta). Unpinned LRU entries are evicted
+// until used+reserved fits, and their names returned; like Add, the pool
+// may stay over budget when everything evictable is pinned.
+func (p *Pool) Reserve(extra int64) (evicted []string) {
+	p.mu.Lock()
+	if extra < 0 {
+		extra = 0
+	}
+	p.reserved = extra
+	victims := p.evictLocked("")
+	onEvict := p.OnEvict
+	p.mu.Unlock()
+
+	for _, v := range victims {
+		if onEvict != nil {
+			onEvict(v.name, v.size)
+		}
+		evicted = append(evicted, v.name)
+	}
+	return evicted
+}
+
+// evictLocked unlinks unpinned LRU entries (never protect) until
+// used+reserved fits the capacity; caller holds the lock and invokes
+// OnEvict outside it.
+func (p *Pool) evictLocked(protect string) (victims []*poolEntry) {
+	for v := p.tail; v != nil && p.capacity > 0 && p.used+p.reserved > p.capacity; {
+		prev := v.prev
+		if v.name == protect || v.pins > 0 {
+			// Never evict the protected entry or a pinned (leased)
+			// entry; keep scanning toward the head. The pool may stay
+			// over budget when everything evictable is pinned.
+			v = prev
+			continue
+		}
+		p.unlink(v)
+		delete(p.entries, v.name)
+		p.used -= v.size
+		p.evictions++
+		victims = append(victims, v)
+		v = prev
+	}
+	return victims
 }
 
 // Len reports the number of cached entries.
@@ -118,23 +176,7 @@ func (p *Pool) Add(name string, size int64) (evicted []string, ok bool) {
 		p.pushFront(e)
 		p.used += size
 	}
-	var victims []*poolEntry
-	for v := p.tail; v != nil && p.capacity > 0 && p.used > p.capacity; {
-		prev := v.prev
-		if v.name == name || v.pins > 0 {
-			// Never evict the entry just added or a pinned (leased)
-			// entry; keep scanning toward the head. The pool may stay
-			// over budget when everything evictable is pinned.
-			v = prev
-			continue
-		}
-		p.unlink(v)
-		delete(p.entries, v.name)
-		p.used -= v.size
-		p.evictions++
-		victims = append(victims, v)
-		v = prev
-	}
+	victims := p.evictLocked(name)
 	onEvict := p.OnEvict
 	p.mu.Unlock()
 

@@ -1,0 +1,504 @@
+package dedup
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// BlobStore is the per-pool content-addressed store behind cachemgr's
+// dedup tier. Chunks live as compressed blobs named by their SHA-256;
+// manifests name the chunk sequence of each published cache. Reference
+// counts are *derived* — a blob's refcount is the number of manifests
+// whose entry list includes it — so the on-disk state is self-describing
+// and crash recovery is a scan, not a log replay.
+//
+// Layout under the root directory:
+//
+//	blobs/<hh>/<64-hex>.z   8-byte big-endian raw length + flate stream
+//	manifests/<name>.vmm    Manifest.Encode bytes
+//
+// Crash ordering mirrors cachemgr publication: every blob of a manifest is
+// committed (tmp → fsync → rename) before the manifest itself commits
+// (tmp → fsync → rename → dir fsync). A crash in between leaves orphan
+// blobs — referenced by no manifest — which Open's startup sweep deletes,
+// alongside stray *.tmp files from either stage.
+type BlobStore struct {
+	dir string
+
+	mu        sync.Mutex
+	refs      map[Key]int // manifest references
+	staged    map[Key]int // in-flight publications holding the blob pre-Commit
+	blobs     map[Key]blobInfo
+	manifests map[string]*Manifest
+	logical   int64 // sum of manifest lengths
+}
+
+type blobInfo struct {
+	rawLen  int64
+	compLen int64
+}
+
+// ErrCorruptBlob reports a blob whose decompressed content fails its hash.
+var ErrCorruptBlob = errors.New("dedup: corrupt blob")
+
+// ErrNoBlob reports a blob absent from the store.
+var ErrNoBlob = errors.New("dedup: no such blob")
+
+const (
+	blobSuffix     = ".z"
+	manifestSuffix = ".vmm"
+	blobHdrLen     = 8
+)
+
+// OpenBlobStore opens (creating if needed) the store rooted at dir,
+// rebuilds refcounts from the manifests on disk, and sweeps orphan blobs
+// and temp files left by a crash between blob and manifest commit.
+func OpenBlobStore(dir string) (*BlobStore, error) {
+	s := &BlobStore{
+		dir:       dir,
+		refs:      make(map[Key]int),
+		staged:    make(map[Key]int),
+		blobs:     make(map[Key]blobInfo),
+		manifests: make(map[string]*Manifest),
+	}
+	for _, d := range []string{s.blobDir(), s.manifestDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	// Load manifests first: they define which blobs are live.
+	ments, err := os.ReadDir(s.manifestDir())
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range ments {
+		name := de.Name()
+		path := filepath.Join(s.manifestDir(), name)
+		if !strings.HasSuffix(name, manifestSuffix) {
+			os.Remove(path) //nolint:errcheck // best-effort temp cleanup
+			continue
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		m, err := DecodeManifest(b)
+		if err != nil {
+			// A torn or stale manifest is dropped, never served; its
+			// blobs become orphans and the sweep below reclaims them.
+			os.Remove(path) //nolint:errcheck // corrupt entry, best effort
+			continue
+		}
+		s.indexManifest(strings.TrimSuffix(name, manifestSuffix), m)
+	}
+	// Sweep the blob tree: index live blobs, delete orphans and temps.
+	err = filepath.WalkDir(s.blobDir(), func(path string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		key, ok := parseBlobName(de.Name())
+		if !ok || s.refs[key] == 0 {
+			os.Remove(path) //nolint:errcheck // orphan/temp, best effort
+			return nil
+		}
+		info, err := de.Info()
+		if err != nil {
+			return err
+		}
+		raw, rerr := readBlobRawLen(path)
+		if rerr != nil {
+			raw = 0 // unreadable header; kept only because referenced
+		}
+		s.blobs[key] = blobInfo{rawLen: raw, compLen: info.Size()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *BlobStore) blobDir() string     { return filepath.Join(s.dir, "blobs") }
+func (s *BlobStore) manifestDir() string { return filepath.Join(s.dir, "manifests") }
+
+func (s *BlobStore) blobPath(k Key) string {
+	h := hex.EncodeToString(k[:])
+	return filepath.Join(s.blobDir(), h[:2], h+blobSuffix)
+}
+
+func parseBlobName(name string) (Key, bool) {
+	if !strings.HasSuffix(name, blobSuffix) {
+		return Key{}, false
+	}
+	b, err := hex.DecodeString(strings.TrimSuffix(name, blobSuffix))
+	if err != nil || len(b) != sha256.Size {
+		return Key{}, false
+	}
+	return Key(b), true
+}
+
+func readBlobRawLen(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close() //nolint:errcheck // read-only handle
+	var hdr [blobHdrLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(hdr[:])), nil
+}
+
+// indexManifest records m under name, bumping blob refcounts. Caller holds
+// the lock (or is still single-threaded in Open).
+func (s *BlobStore) indexManifest(name string, m *Manifest) {
+	s.manifests[name] = m
+	s.logical += m.Length
+	for _, e := range m.Entries {
+		s.refs[e.Hash]++
+	}
+}
+
+// gcLocked deletes blob k from disk and the index once nothing holds it:
+// no manifest reference and no in-flight publication stage. Caller holds
+// the lock — the file removal rides along so a racing Put of the same hash
+// cannot interleave between the index delete and the unlink.
+func (s *BlobStore) gcLocked(k Key) {
+	if s.refs[k] > 0 || s.staged[k] > 0 {
+		return
+	}
+	delete(s.refs, k)
+	delete(s.staged, k)
+	delete(s.blobs, k)
+	os.Remove(s.blobPath(k)) //nolint:errcheck // zero-ref GC, best effort
+}
+
+// Has reports whether the store holds a blob for k (referenced or staged).
+func (s *BlobStore) Has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blobs[k]
+	return ok
+}
+
+// Put stages the blob for k (raw chunk bytes): compress, write tmp, fsync,
+// rename — skipped entirely when the blob already exists, which is the
+// dedup. A successful Put takes one stage hold on k that pins it against
+// GC until the publisher calls Release, closing the window where a racing
+// eviction could free a chunk between a publisher's existence check and
+// its manifest commit. Callers record each held key and Release them all
+// (after Commit, or on failure) — typically in a defer.
+func (s *BlobStore) Put(k Key, raw []byte) error {
+	s.mu.Lock()
+	s.staged[k]++
+	_, ok := s.blobs[k]
+	s.mu.Unlock()
+	if ok {
+		return nil
+	}
+	var buf bytes.Buffer
+	var hdr [blobHdrLen]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(raw)))
+	buf.Write(hdr[:]) //nolint:errcheck // bytes.Buffer writes cannot fail
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err == nil {
+		if _, werr := fw.Write(raw); werr != nil {
+			err = werr
+		} else {
+			err = fw.Close()
+		}
+	}
+	if err != nil {
+		s.unstage(k)
+		return err
+	}
+	return s.finishPut(k, buf.Bytes(), int64(len(raw)))
+}
+
+// PutCompressed stages an already-compressed wire blob (an OpChunk reply):
+// the blob is decoded and hash-verified first, so a corrupt transfer
+// surfaces as ErrCorruptBlob and never lands on disk. Takes a stage hold
+// exactly like Put.
+func (s *BlobStore) PutCompressed(k Key, comp []byte) error {
+	raw, err := DecodeBlob(k, comp)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.staged[k]++
+	_, ok := s.blobs[k]
+	s.mu.Unlock()
+	if ok {
+		return nil
+	}
+	return s.finishPut(k, comp, int64(len(raw)))
+}
+
+// finishPut writes the compressed bytes to disk and indexes the blob. The
+// caller already holds a stage on k; on error the stage is released.
+func (s *BlobStore) finishPut(k Key, comp []byte, rawLen int64) error {
+	path := s.blobPath(k)
+	err := os.MkdirAll(filepath.Dir(path), 0o755)
+	if err == nil {
+		err = commitFile(path, comp)
+	}
+	if err != nil {
+		s.unstage(k)
+		return err
+	}
+	s.mu.Lock()
+	// A concurrent writer of the same hash wrote identical content, so
+	// last rename wins harmlessly.
+	s.blobs[k] = blobInfo{rawLen: rawLen, compLen: int64(len(comp))}
+	s.mu.Unlock()
+	return nil
+}
+
+// Stage takes a stage hold on k if its blob is present, reporting whether
+// it was. A publisher reusing locally-held chunks stages each one so a
+// concurrent eviction cannot GC it before the manifest commits.
+func (s *BlobStore) Stage(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[k]; !ok {
+		return false
+	}
+	s.staged[k]++
+	return true
+}
+
+func (s *BlobStore) unstage(k Key) {
+	s.mu.Lock()
+	if s.staged[k] > 0 {
+		s.staged[k]--
+	}
+	s.gcLocked(k)
+	s.mu.Unlock()
+}
+
+// Release drops the stage holds a publication took via Put/PutCompressed/
+// Stage, GC'ing blobs nothing references. Safe (and usual) to call after
+// Commit: committed manifests hold their chunks by refcount, not by stage.
+func (s *BlobStore) Release(held []Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range held {
+		if s.staged[k] > 0 {
+			s.staged[k]--
+		}
+		s.gcLocked(k)
+	}
+}
+
+// commitFile writes data as path atomically: unique tmp in the same
+// directory (concurrent writers of one path must not share a temp), fsync,
+// rename.
+func commitFile(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()      //nolint:errcheck // already failing
+		os.Remove(tmp) //nolint:errcheck // best effort
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()      //nolint:errcheck // already failing
+		os.Remove(tmp) //nolint:errcheck // best effort
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best effort
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadCompressed returns the on-disk (compressed, length-framed) bytes of
+// blob k and its raw length — the wire representation OpChunk ships.
+func (s *BlobStore) ReadCompressed(k Key) (comp []byte, rawLen int64, err error) {
+	b, err := os.ReadFile(s.blobPath(k))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoBlob, k)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) < blobHdrLen {
+		return nil, 0, fmt.Errorf("%w: %s: truncated header", ErrCorruptBlob, k)
+	}
+	return b, int64(binary.BigEndian.Uint64(b[:blobHdrLen])), nil
+}
+
+// DecodeBlob inflates a wire/disk blob and verifies the content hashes to
+// k — the corrupt-blob (and corrupt-transfer) detection path.
+func DecodeBlob(k Key, comp []byte) ([]byte, error) {
+	if len(comp) < blobHdrLen {
+		return nil, fmt.Errorf("%w: %s: truncated header", ErrCorruptBlob, k)
+	}
+	rawLen := int64(binary.BigEndian.Uint64(comp[:blobHdrLen]))
+	if rawLen < 0 || rawLen > MaxChunk*2 {
+		return nil, fmt.Errorf("%w: %s: raw length %d", ErrCorruptBlob, k, rawLen)
+	}
+	fr := flate.NewReader(bytes.NewReader(comp[blobHdrLen:]))
+	defer fr.Close() //nolint:errcheck // flate readers cannot fail on close
+	raw := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptBlob, k, err)
+	}
+	if sha256.Sum256(raw) != [sha256.Size]byte(k) {
+		return nil, fmt.Errorf("%w: %s: hash mismatch", ErrCorruptBlob, k)
+	}
+	return raw, nil
+}
+
+// ReadBlob returns the verified raw bytes of blob k.
+func (s *BlobStore) ReadBlob(k Key) ([]byte, error) {
+	comp, _, err := s.ReadCompressed(k)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBlob(k, comp)
+}
+
+// Commit publishes m under name: the manifest file commits (tmp → fsync →
+// rename → dir fsync) and refcounts shift atomically — replacing an
+// existing manifest of the same name (checksum invalidation) unrefs the
+// old chunk set and deletes blobs that drop to zero. Every blob m
+// references must already be Put.
+func (s *BlobStore) Commit(name string, m *Manifest) error {
+	if strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("dedup: bad manifest name %q", name)
+	}
+	path := filepath.Join(s.manifestDir(), name+manifestSuffix)
+	if err := commitFile(path, m.Encode()); err != nil {
+		return err
+	}
+	if err := syncDir(s.manifestDir()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Ref the new chunk set before unreffing the old so chunks shared
+	// across versions never transit zero (and never get GC'd).
+	old := s.manifests[name]
+	s.manifests[name] = m
+	s.logical += m.Length
+	for _, e := range m.Entries {
+		s.refs[e.Hash]++
+	}
+	if old != nil {
+		s.logical -= old.Length
+		for _, e := range old.Entries {
+			s.refs[e.Hash]--
+			s.gcLocked(e.Hash)
+		}
+	}
+	return nil
+}
+
+// Drop removes name's manifest (cache eviction / invalidation), deleting
+// blobs whose refcount reaches zero. Unknown names are a no-op.
+func (s *BlobStore) Drop(name string) error {
+	path := filepath.Join(s.manifestDir(), name+manifestSuffix)
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[name]
+	if !ok {
+		return nil
+	}
+	delete(s.manifests, name)
+	s.logical -= m.Length
+	for _, e := range m.Entries {
+		s.refs[e.Hash]--
+		s.gcLocked(e.Hash)
+	}
+	return nil
+}
+
+// Manifest returns the committed manifest for name, if any.
+func (s *BlobStore) Manifest(name string) (*Manifest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[name]
+	return m, ok
+}
+
+// ManifestNames lists committed manifests.
+func (s *BlobStore) ManifestNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.manifests))
+	for name := range s.manifests {
+		out = append(out, name)
+	}
+	return out
+}
+
+// StoreStats snapshots the dedup tier's efficiency.
+type StoreStats struct {
+	Manifests       int
+	Blobs           int
+	LogicalBytes    int64 // sum of manifest lengths
+	UniqueRawBytes  int64 // raw bytes held once per distinct chunk
+	UniqueCompBytes int64 // compressed bytes actually on disk
+	SharedBytes     int64 // logical bytes served by a chunk referenced >1×
+}
+
+// Stats snapshots the store.
+func (s *BlobStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Manifests:    len(s.manifests),
+		Blobs:        len(s.blobs),
+		LogicalBytes: s.logical,
+	}
+	for k, info := range s.blobs {
+		st.UniqueRawBytes += info.rawLen
+		st.UniqueCompBytes += info.compLen
+		if n := s.refs[k]; n > 1 {
+			st.SharedBytes += int64(n-1) * info.rawLen
+		}
+	}
+	return st
+}
+
+// UniqueCompBytes reports the physical disk bytes the blob tree holds —
+// the figure cachemgr charges against its pool budget (once per unique
+// chunk, however many caches share it).
+func (s *BlobStore) UniqueCompBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, info := range s.blobs {
+		n += info.compLen
+	}
+	return n
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //nolint:errcheck // read-only handle
+	return d.Sync()
+}

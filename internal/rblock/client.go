@@ -342,6 +342,46 @@ func (c *Client) FetchMap(name string) ([]byte, error) {
 	return enc, nil
 }
 
+// FetchManifest queries the chunk manifest advertised for a published
+// export name (no open handle needed). The returned bytes are an encoded
+// dedup manifest, owned by the caller. Exports without a committed
+// manifest yield ErrNotFound; servers without a chunk source yield
+// ErrBadRequest.
+func (c *Client) FetchManifest(name string) ([]byte, error) {
+	if name == "" || len(name) > MaxNameLen {
+		return nil, ErrBadRequest
+	}
+	req := getFrame()
+	req.op, req.payload = OpManifest, []byte(name)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	enc := make([]byte, len(resp.payload))
+	copy(enc, resp.payload)
+	putFrame(resp)
+	return enc, nil
+}
+
+// FetchChunk fetches one content-addressed chunk by SHA-256. It returns
+// the compressed length-framed blob exactly as the peer stores it (the
+// caller decodes and hash-verifies it, so a corrupt transfer surfaces as a
+// corrupt-blob error) plus the raw length the server advertised. Unknown
+// hashes yield ErrNotFound.
+func (c *Client) FetchChunk(hash [HashLen]byte) (comp []byte, rawLen int64, err error) {
+	req := getFrame()
+	req.op, req.payload = OpChunk, hash[:]
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	comp = make([]byte, len(resp.payload))
+	copy(comp, resp.payload)
+	rawLen = int64(resp.aux)
+	putFrame(resp)
+	return comp, rawLen, nil
+}
+
 // RemoteFile is an open remote file implementing backend.File.
 type RemoteFile struct {
 	c      *Client

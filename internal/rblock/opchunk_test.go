@@ -1,0 +1,109 @@
+package rblock
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// fakeChunks is a ChunkSource over fixed tables.
+type fakeChunks struct {
+	manifests map[string][]byte
+	blobs     map[[HashLen]byte][]byte
+	rawLens   map[[HashLen]byte]int64
+}
+
+func (f *fakeChunks) EncodedManifest(name string) ([]byte, error) {
+	enc, ok := f.manifests[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", backend.ErrNotExist, name)
+	}
+	return enc, nil
+}
+
+func (f *fakeChunks) ChunkBlob(hash [HashLen]byte) ([]byte, int64, error) {
+	b, ok := f.blobs[hash]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: no blob", backend.ErrNotExist)
+	}
+	return b, f.rawLens[hash], nil
+}
+
+func TestOpManifestChunkRoundTrip(t *testing.T) {
+	h1 := [HashLen]byte{1}
+	h2 := [HashLen]byte{2}
+	src := &fakeChunks{
+		manifests: map[string][]byte{"img.vmic": {9, 8, 7}},
+		blobs: map[[HashLen]byte][]byte{
+			h1: bytes.Repeat([]byte{0x11}, 100),
+			h2: bytes.Repeat([]byte{0x22}, 64<<10),
+		},
+		rawLens: map[[HashLen]byte]int64{h1: 4096, h2: 128 << 10},
+	}
+	srv := NewServer(backend.NewMemStore(), ServerOpts{ReadOnly: true, Chunks: src})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+
+	c := dial(t, addr, 0)
+	enc, err := c.FetchManifest("img.vmic")
+	if err != nil {
+		t.Fatalf("FetchManifest: %v", err)
+	}
+	if !bytes.Equal(enc, src.manifests["img.vmic"]) {
+		t.Fatalf("FetchManifest = %v", enc)
+	}
+	// Unknown manifests are NotFound and the connection survives.
+	if _, err := c.FetchManifest("other.vmic"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown manifest: %v, want ErrNotFound", err)
+	}
+	// Chunk fetches echo the blob bytes and advertised raw length.
+	comp, rawLen, err := c.FetchChunk(h2)
+	if err != nil {
+		t.Fatalf("FetchChunk: %v", err)
+	}
+	if !bytes.Equal(comp, src.blobs[h2]) || rawLen != 128<<10 {
+		t.Fatalf("FetchChunk = %d bytes, raw %d", len(comp), rawLen)
+	}
+	if _, _, err := c.FetchChunk([HashLen]byte{0xFF}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown chunk: %v, want ErrNotFound", err)
+	}
+	// Client-side validation: empty names never hit the wire.
+	if _, err := c.FetchManifest(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	// Pipelined chunk fetches demultiplex correctly by request id.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, want := h1, src.blobs[h1]
+			if i%2 == 0 {
+				h, want = h2, src.blobs[h2]
+			}
+			got, _, err := c.FetchChunk(h)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("pipelined fetch %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestOpChunkWithoutSource(t *testing.T) {
+	_, addr, _ := newServer(t, ServerOpts{})
+	c := dial(t, addr, 0)
+	if _, err := c.FetchManifest("img.vmic"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("no chunk source: %v, want ErrBadRequest", err)
+	}
+	if _, _, err := c.FetchChunk([HashLen]byte{1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("no chunk source: %v, want ErrBadRequest", err)
+	}
+}

@@ -51,9 +51,23 @@ const (
 	// currently advertised answer StatusNotFound.
 	OpMap
 
+	// OpManifest queries the chunk manifest of a published export by name
+	// (no open handle needed): the request payload is the export name, the
+	// reply payload an opaque encoded manifest (internal/dedup wire
+	// format). OpChunk fetches one content-addressed chunk: the request
+	// payload is its 32-byte SHA-256, the reply payload the compressed
+	// length-framed blob with the raw length echoed in aux. Servers
+	// without a chunk source answer StatusBadRequest; unknown names or
+	// hashes answer StatusNotFound.
+	OpManifest
+	OpChunk
+
 	// replyFlag marks response frames.
 	replyFlag = 0x80
 )
+
+// HashLen is the content-hash size OpChunk requests carry (SHA-256).
+const HashLen = 32
 
 // Status codes.
 const (

@@ -119,11 +119,26 @@ type MapSource interface {
 	EncodedMap(name string) ([]byte, error)
 }
 
+// ChunkSource supplies chunk manifests and content-addressed chunk blobs
+// for OpManifest/OpChunk requests (the dedup delta-transfer path). Both
+// encodings are opaque to rblock (internal/dedup defines them); an error
+// means the name or hash is not currently served and yields
+// StatusNotFound.
+type ChunkSource interface {
+	// EncodedManifest returns the encoded chunk manifest of a published
+	// export.
+	EncodedManifest(name string) ([]byte, error)
+	// ChunkBlob returns the compressed wire form of one chunk and its raw
+	// (uncompressed) length.
+	ChunkBlob(hash [HashLen]byte) (comp []byte, rawLen int64, err error)
+}
+
 // Server exports a Store over TCP.
 type Server struct {
 	store  backend.Store
 	rwsize int
 	maps   MapSource
+	chunks ChunkSource
 	stats  serverCounters
 
 	// payloads recycles rwsize payload buffers across requests — OpRead
@@ -154,6 +169,10 @@ type ServerOpts struct {
 	// piece-map advertisement). Servers without one reject OpMap with
 	// StatusBadRequest.
 	Maps MapSource
+	// Chunks, when non-nil, answers OpManifest/OpChunk dedup queries (the
+	// manifest-first delta transfer). Servers without one reject both ops
+	// with StatusBadRequest.
+	Chunks ChunkSource
 }
 
 // NewServer returns a server exporting store.
@@ -170,6 +189,7 @@ func NewServer(store backend.Store, opts ServerOpts) *Server {
 		store:    store,
 		rwsize:   rw,
 		maps:     opts.Maps,
+		chunks:   opts.Chunks,
 		conns:    make(map[net.Conn]struct{}),
 		logf:     logf,
 		readOnly: opts.ReadOnly,
@@ -646,6 +666,41 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 			return fail(StatusIO)
 		}
 		resp.payload = enc
+		return resp
+
+	case OpManifest:
+		if s.chunks == nil {
+			return fail(StatusBadRequest)
+		}
+		if len(req.payload) == 0 || len(req.payload) > MaxNameLen {
+			return fail(StatusBadRequest)
+		}
+		enc, err := s.chunks.EncodedManifest(string(req.payload))
+		if err != nil {
+			return fail(StatusNotFound)
+		}
+		if len(enc) > maxPayload {
+			return fail(StatusIO)
+		}
+		resp.payload = enc
+		return resp
+
+	case OpChunk:
+		if s.chunks == nil {
+			return fail(StatusBadRequest)
+		}
+		if len(req.payload) != HashLen {
+			return fail(StatusBadRequest)
+		}
+		comp, rawLen, err := s.chunks.ChunkBlob([HashLen]byte(req.payload))
+		if err != nil {
+			return fail(StatusNotFound)
+		}
+		if len(comp) > maxPayload {
+			return fail(StatusIO)
+		}
+		resp.payload = comp
+		resp.aux = uint64(rawLen)
 		return resp
 
 	case OpClose:
