@@ -54,16 +54,16 @@ bench:
 # transfers. -cpu 4 pins GOMAXPROCS so benchmark names (and the
 # stripped-suffix keys benchjson compares on) are machine-independent;
 # -benchtime 2s keeps run-to-run noise well under the 20% regression gate.
-# After refreshing, commit the new BENCH_pr8.json and keep ci.yml's
+# After refreshing, commit the new BENCH_pr9.json and keep ci.yml's
 # -baseline flags pointing at it.
 bench-baseline:
 	( $(GO) test -run xxx \
 		-bench 'WarmRead|ColdFill|RoundTrip|PipelinedRead|SequentialColdRead|ServerRead' \
 		-benchmem -benchtime 2s -cpu 4 ./internal/qcow/ ./internal/rblock/ ; \
 	  $(GO) test -run xxx \
-		-bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead|SwarmFlashCrowd|DedupManifestBuild|DedupDeltaTransfer' \
+		-bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead|SwarmFlashCrowd|DedupManifestBuild|DedupMaterialize|DedupDeltaTransfer' \
 		-benchmem -benchtime 2s -cpu 4 . ) \
-		| $(GO) run ./cmd/benchjson -out BENCH_pr8.json
+		| $(GO) run ./cmd/benchjson -out BENCH_pr9.json
 
 coverage:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -551,7 +552,12 @@ func cmdDedup(args []string) error {
 	fs := flag.NewFlagSet("dedup", flag.ExitOnError)
 	dir := fs.String("C", ".", "working directory")
 	storeDir := fs.String("store", "", "dedup store directory to inspect (e.g. <cachedir>/dedup)")
+	jobs := fs.Int("j", 0, "chunk hash parallelism (0 = GOMAXPROCS, 1 = serial)")
 	fs.Parse(args) //nolint:errcheck
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	if *storeDir != "" {
 		if fs.NArg() != 0 {
@@ -592,13 +598,14 @@ func cmdDedup(args []string) error {
 			return err
 		}
 		var fresh int64
-		m, err := dedup.Build(f, fi.Size(), func(e dedup.Entry, _ []byte) error {
-			if _, ok := seen[e.Hash]; !ok {
-				seen[e.Hash] = e.Len
-				fresh += int64(e.Len)
-			}
-			return nil
-		})
+		m, err := dedup.BuildParallel(f, fi.Size(), dedup.BuildOpts{Workers: workers},
+			func(e dedup.Entry, _, _ []byte) error {
+				if _, ok := seen[e.Hash]; !ok {
+					seen[e.Hash] = e.Len
+					fresh += int64(e.Len)
+				}
+				return nil
+			})
 		f.Close() //nolint:errcheck
 		if err != nil {
 			return err

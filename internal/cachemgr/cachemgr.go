@@ -123,6 +123,12 @@ type Config struct {
 	// Budget once, however many caches share them.
 	Dedup bool
 
+	// DedupWorkers is the chunk hash/compress/decompress parallelism of
+	// the dedup pipeline: publication (manifest build), rehydration and
+	// delta-warm materialization all spread per-chunk work across this
+	// many goroutines (0 means GOMAXPROCS; 1 forces the serial path).
+	DedupWorkers int
+
 	// SwarmEnabled switches cold warms from wholesale peer pulls to
 	// chunk-level multi-source fetching: each chunk is pulled from
 	// whichever peer advertises it (rarest first), falling back to the
@@ -221,10 +227,18 @@ type counters struct {
 	discardedTemps atomic.Int64
 	droppedCorrupt atomic.Int64
 
-	dedupRehydrations atomic.Int64
-	dedupDeltaWarms   atomic.Int64
-	dedupDeltaBytes   atomic.Int64
-	dedupReusedBytes  atomic.Int64
+	dedupRehydrations  atomic.Int64
+	dedupDeltaWarms    atomic.Int64
+	dedupDeltaBytes    atomic.Int64
+	dedupReusedBytes   atomic.Int64
+	dedupChunkBatches  atomic.Int64 // vectored chunk-fetch round trips
+	dedupBatchedChunks atomic.Int64 // chunks that arrived via those batches
+
+	// dedupBuildDuration and dedupMaterializeDuration record the wall time
+	// (ns) of manifest builds and image materializations — the two ends of
+	// the parallel dedup pipeline.
+	dedupBuildDuration       metrics.AtomicHistogram
+	dedupMaterializeDuration metrics.AtomicHistogram
 
 	swarmWarms         atomic.Int64
 	swarmChunksPeer    atomic.Int64
@@ -490,6 +504,18 @@ func (m *Manager) registerMetrics(r *metrics.Registry) {
 			"Compressed bytes actually moved by delta warms.", l, s.dedupDeltaBytes.Load)
 		r.CounterFunc("vmicache_dedup_reused_bytes_total",
 			"Raw bytes delta warms reused from chunks already held.", l, s.dedupReusedBytes.Load)
+		r.CounterFunc("vmicache_dedup_chunk_batches_total",
+			"Vectored chunk-fetch round trips issued by delta warms.", l,
+			s.dedupChunkBatches.Load)
+		r.CounterFunc("vmicache_dedup_chunk_batch_chunks_total",
+			"Chunks that arrived through vectored batch fetches.", l,
+			s.dedupBatchedChunks.Load)
+		r.RegisterHistogram("vmicache_dedup_build_duration_ns",
+			"Wall time of chunk-manifest builds (publication pipeline).", l,
+			&s.dedupBuildDuration)
+		r.RegisterHistogram("vmicache_dedup_materialize_duration_ns",
+			"Wall time of image materializations from blobs (rehydrate/delta).", l,
+			&s.dedupMaterializeDuration)
 		r.GaugeFunc("vmicache_dedup_manifests",
 			"Chunk manifests held by the blob store.", l,
 			func() int64 { return int64(m.dstore.Stats().Manifests) })

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vmicache/internal/backend"
 	"vmicache/internal/dedup"
@@ -113,16 +115,22 @@ func (m *Manager) dedupPublish(key, pubPath string) error {
 	}
 	var held []dedup.Key
 	defer func() { m.dstore.Release(held) }()
-	man, err := dedup.Build(f, fi.Size(), func(e dedup.Entry, raw []byte) error {
-		if err := m.dstore.Put(e.Hash, raw); err != nil {
-			return err
-		}
-		held = append(held, e.Hash)
-		return nil
-	})
+	start := time.Now()
+	// The pipeline's workers compress each chunk into its wire blob, so
+	// the store lands bytes as-is (PutBuilt) instead of re-deflating.
+	man, err := dedup.BuildParallel(f, fi.Size(),
+		dedup.BuildOpts{Workers: m.dedupWorkers(), Compress: true},
+		func(e dedup.Entry, raw, comp []byte) error {
+			if err := m.dstore.PutBuilt(e.Hash, comp, int64(e.Len)); err != nil {
+				return err
+			}
+			held = append(held, e.Hash)
+			return nil
+		})
 	if err != nil {
 		return err
 	}
+	m.stats.dedupBuildDuration.Observe(time.Since(start).Nanoseconds())
 	// Committing under the same key replaces a stale manifest (a rebuilt
 	// base image: same key, different checksum) while chunks shared across
 	// versions survive — only the changed chunks were actually stored.
@@ -133,9 +141,19 @@ func (m *Manager) dedupPublish(key, pubPath string) error {
 	return nil
 }
 
+// dedupWorkers resolves the pipeline parallelism from config.
+func (m *Manager) dedupWorkers() int {
+	if m.cfg.DedupWorkers > 0 {
+		return m.cfg.DedupWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func fileChecksum(f *os.File, size int64) (dedup.Key, error) {
 	h := sha256.New()
-	buf := make([]byte, 256<<10)
+	bp := dedup.GetStreamBuf()
+	defer dedup.PutStreamBuf(bp)
+	buf := *bp
 	for off := int64(0); off < size; {
 		n := int64(len(buf))
 		if rem := size - off; rem < n {
@@ -180,40 +198,27 @@ func (m *Manager) rehydrate(key, tmpName string) bool {
 }
 
 // materialize writes a manifest's content into tmpName from the blob
-// store, verifying the whole-image checksum as it goes.
+// store through the parallel decode pipeline (every chunk and the whole
+// image hash-verified).
 func (m *Manager) materialize(tmpName string, man *dedup.Manifest) error {
 	f, err := m.store.Create(tmpName)
 	if err != nil {
 		return err
 	}
-	whole := sha256.New()
-	var off int64
-	for _, e := range man.Entries {
-		raw, err := m.dstore.ReadBlob(e.Hash)
-		if err != nil {
-			f.Close() //nolint:errcheck // already failing
-			return err
-		}
-		if int64(len(raw)) != int64(e.Len) {
-			f.Close() //nolint:errcheck // already failing
-			return fmt.Errorf("cachemgr: blob %v: %d bytes, manifest says %d", e.Hash, len(raw), e.Len)
-		}
-		if err := backend.WriteFull(f, raw, off); err != nil {
-			f.Close() //nolint:errcheck // already failing
-			return err
-		}
-		whole.Write(raw) //nolint:errcheck // hash writes cannot fail
-		off += int64(len(raw))
-	}
-	if sum := dedup.Key(whole.Sum(nil)); sum != man.Checksum {
+	start := time.Now()
+	if err := dedup.Materialize(f, man, m.dstore, m.dedupWorkers()); err != nil {
 		f.Close() //nolint:errcheck // already failing
-		return fmt.Errorf("cachemgr: materialized image fails manifest checksum")
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close() //nolint:errcheck // already failing
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	m.stats.dedupMaterializeDuration.Observe(time.Since(start).Nanoseconds())
+	return nil
 }
 
 // deltaWarm is the manifest-first peer transfer: poll the configured peers
@@ -290,56 +295,110 @@ func (m *Manager) deltaWarm(key, tmpName string) (wire, reused int64, err error)
 		}
 	}
 
-	// Fetch the delta, a small worker pool spreading chunk requests
-	// round-robin across the manifest holders, reassigning on failure.
+	// Fetch the delta: workers claim runs of missing hashes and pull each
+	// run in one vectored OpChunkBatch round trip, spreading runs
+	// round-robin across the manifest holders and reassigning on failure.
+	// Batch size adapts to the missing set so small deltas still use every
+	// worker, while large ones amortise a round trip over up to 32 chunks
+	// (≈4 MiB of max-size blobs, inside the frame cap). A shared cancel
+	// flag checked in the claim loop tears the pool down promptly after
+	// the first failure instead of letting the survivors drain the cursor.
 	workers := m.cfg.SwarmWorkers
 	if workers <= 0 {
 		workers = 4
 	}
-	if workers > len(missing) && len(missing) > 0 {
-		workers = len(missing)
+	batch := len(missing) / (workers * 2)
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 32 {
+		batch = 32
+	}
+	if n := (len(missing) + batch - 1) / batch; workers > n && n > 0 {
+		workers = n
 	}
 	var next atomic.Int64
 	var wireBytes atomic.Int64
+	var canceled atomic.Bool
 	errs := make(chan error, workers)
+
+	// landRun fetches the head of run from one holder and lands what came
+	// back, returning how many chunks it covered. fatal marks errors no
+	// other holder can fix (a corrupt transfer, local store failure).
+	landRun := func(h holder, run []dedup.Key) (served int, fatal bool, err error) {
+		hashes := make([][rblock.HashLen]byte, len(run))
+		for j, k := range run {
+			hashes[j] = [rblock.HashLen]byte(k)
+		}
+		blobs, ferr := h.c.FetchChunkBatch(hashes)
+		if errors.Is(ferr, rblock.ErrBadRequest) {
+			// The peer predates the batch op: fetch the head chunk singly.
+			comp, _, cerr := h.c.FetchChunk(hashes[0])
+			m.notePeer(h.addr, int64(len(comp)), cerr)
+			if cerr != nil {
+				return 0, false, cerr
+			}
+			blobs = [][]byte{comp}
+		} else {
+			var n int64
+			for _, b := range blobs {
+				n += int64(len(b))
+			}
+			m.notePeer(h.addr, n, ferr)
+			if ferr != nil {
+				return 0, false, ferr
+			}
+			m.stats.dedupChunkBatches.Add(1)
+			m.stats.dedupBatchedChunks.Add(int64(len(blobs)))
+		}
+		for j, comp := range blobs {
+			// PutCompressed hash-verifies before landing on disk, so a
+			// corrupt transfer dies here, and takes the stage hold that
+			// keeps the chunk alive until release.
+			if perr := m.dstore.PutCompressed(run[j], comp); perr != nil {
+				return j, true, perr
+			}
+			heldMu.Lock()
+			held = append(held, run[j])
+			heldMu.Unlock()
+			wireBytes.Add(int64(len(comp)))
+		}
+		return len(blobs), false, nil
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
+			for !canceled.Load() {
+				i := int(next.Add(int64(batch))) - batch
 				if i >= len(missing) {
 					return
 				}
-				k := missing[i]
-				var comp []byte
-				var ferr error
-				for attempt := 0; attempt < len(holders); attempt++ {
-					h := holders[(i+attempt)%len(holders)]
-					comp, _, ferr = h.c.FetchChunk([rblock.HashLen]byte(k))
-					m.notePeer(h.addr, int64(len(comp)), ferr)
+				end := i + batch
+				if end > len(missing) {
+					end = len(missing)
+				}
+				run := missing[i:end]
+				pos, fails := 0, 0
+				for pos < len(run) && !canceled.Load() {
+					h := holders[(i/batch+pos+fails)%len(holders)]
+					served, fatal, ferr := landRun(h, run[pos:])
+					pos += served
 					if ferr == nil {
-						break
+						fails = 0
+						continue
+					}
+					fails++
+					if fatal || fails >= len(holders) {
+						canceled.Store(true)
+						errs <- fmt.Errorf("cachemgr: chunk %v: %w", run[pos], ferr)
+						return
 					}
 				}
-				if ferr != nil {
-					errs <- fmt.Errorf("cachemgr: chunk %v: %w", k, ferr)
-					return
-				}
-				// PutCompressed hash-verifies before landing on disk, so
-				// a corrupt transfer dies here, and takes the stage hold
-				// that keeps the chunk alive until release.
-				if perr := m.dstore.PutCompressed(k, comp); perr != nil {
-					errs <- perr
-					return
-				}
-				heldMu.Lock()
-				held = append(held, k)
-				heldMu.Unlock()
-				wireBytes.Add(int64(len(comp)))
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 	close(errs)

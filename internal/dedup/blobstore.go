@@ -2,7 +2,6 @@ package dedup
 
 import (
 	"bytes"
-	"compress/flate"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -28,9 +27,13 @@ import (
 //	manifests/<name>.vmm    Manifest.Encode bytes
 //
 // Crash ordering mirrors cachemgr publication: every blob of a manifest is
-// committed (tmp → fsync → rename) before the manifest itself commits
-// (tmp → fsync → rename → dir fsync). A crash in between leaves orphan
-// blobs — referenced by no manifest — which Open's startup sweep deletes,
+// durable before the manifest itself commits (tmp → fsync → rename → dir
+// fsync). Blob landings themselves are group-committed: Put writes and
+// renames the blob visible without fsync, recording it dirty, and Commit
+// flushes every dirty blob file and touched blob directory in one batch
+// before the manifest file commits — one fsync window per publication
+// instead of one per chunk. A crash in between leaves orphan blobs —
+// referenced by no manifest — which Open's startup sweep deletes,
 // alongside stray *.tmp files from either stage.
 type BlobStore struct {
 	dir string
@@ -41,6 +44,14 @@ type BlobStore struct {
 	blobs     map[Key]blobInfo
 	manifests map[string]*Manifest
 	logical   int64 // sum of manifest lengths
+
+	// dirty tracks blob files written but not yet fsynced, and the blob
+	// subdirectories their renames dirtied. flushMu serialises flushes so
+	// a Commit never proceeds while another flush that snapshotted its
+	// blobs is still in flight.
+	dirty     map[string]struct{}
+	dirtyDirs map[string]struct{}
+	flushMu   sync.Mutex
 }
 
 type blobInfo struct {
@@ -70,6 +81,8 @@ func OpenBlobStore(dir string) (*BlobStore, error) {
 		staged:    make(map[Key]int),
 		blobs:     make(map[Key]blobInfo),
 		manifests: make(map[string]*Manifest),
+		dirty:     make(map[string]struct{}),
+		dirtyDirs: make(map[string]struct{}),
 	}
 	for _, d := range []string{s.blobDir(), s.manifestDir()} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -181,7 +194,9 @@ func (s *BlobStore) gcLocked(k Key) {
 	delete(s.refs, k)
 	delete(s.staged, k)
 	delete(s.blobs, k)
-	os.Remove(s.blobPath(k)) //nolint:errcheck // zero-ref GC, best effort
+	path := s.blobPath(k)
+	delete(s.dirty, path)
+	os.Remove(path) //nolint:errcheck // zero-ref GC, best effort
 }
 
 // Has reports whether the store holds a blob for k (referenced or staged).
@@ -207,23 +222,32 @@ func (s *BlobStore) Put(k Key, raw []byte) error {
 	if ok {
 		return nil
 	}
-	var buf bytes.Buffer
-	var hdr [blobHdrLen]byte
-	binary.BigEndian.PutUint64(hdr[:], uint64(len(raw)))
-	buf.Write(hdr[:]) //nolint:errcheck // bytes.Buffer writes cannot fail
-	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err == nil {
-		if _, werr := fw.Write(raw); werr != nil {
-			err = werr
-		} else {
-			err = fw.Close()
-		}
-	}
-	if err != nil {
+	buf := compBufPool.Get().(*bytes.Buffer)
+	defer compBufPool.Put(buf)
+	if err := encodeWireBlob(buf, raw); err != nil {
 		s.unstage(k)
 		return err
 	}
 	return s.finishPut(k, buf.Bytes(), int64(len(raw)))
+}
+
+// PutBuilt stages an already-encoded wire blob the caller itself produced
+// from verified raw bytes — the BuildParallel compress path, where workers
+// emit the blob alongside the chunk. Unlike PutCompressed there is no
+// decode-verify round trip: the bytes never crossed a network. Takes a
+// stage hold exactly like Put.
+func (s *BlobStore) PutBuilt(k Key, comp []byte, rawLen int64) error {
+	if len(comp) < blobHdrLen || int64(binary.BigEndian.Uint64(comp[:blobHdrLen])) != rawLen {
+		return fmt.Errorf("%w: %s: bad frame", ErrCorruptBlob, k)
+	}
+	s.mu.Lock()
+	s.staged[k]++
+	_, ok := s.blobs[k]
+	s.mu.Unlock()
+	if ok {
+		return nil
+	}
+	return s.finishPut(k, comp, rawLen)
 }
 
 // PutCompressed stages an already-compressed wire blob (an OpChunk reply):
@@ -246,12 +270,16 @@ func (s *BlobStore) PutCompressed(k Key, comp []byte) error {
 }
 
 // finishPut writes the compressed bytes to disk and indexes the blob. The
-// caller already holds a stage on k; on error the stage is released.
+// blob is renamed visible without fsync — it is recorded dirty and flushed
+// in the next Commit's group fsync, preserving blobs-before-manifest crash
+// ordering at one fsync batch per publication. The caller already holds a
+// stage on k; on error the stage is released.
 func (s *BlobStore) finishPut(k Key, comp []byte, rawLen int64) error {
 	path := s.blobPath(k)
-	err := os.MkdirAll(filepath.Dir(path), 0o755)
+	dir := filepath.Dir(path)
+	err := os.MkdirAll(dir, 0o755)
 	if err == nil {
-		err = commitFile(path, comp)
+		err = writeFileNoSync(path, comp)
 	}
 	if err != nil {
 		s.unstage(k)
@@ -261,7 +289,56 @@ func (s *BlobStore) finishPut(k Key, comp []byte, rawLen int64) error {
 	// A concurrent writer of the same hash wrote identical content, so
 	// last rename wins harmlessly.
 	s.blobs[k] = blobInfo{rawLen: rawLen, compLen: int64(len(comp))}
+	s.dirty[path] = struct{}{}
+	s.dirtyDirs[dir] = struct{}{}
 	s.mu.Unlock()
+	return nil
+}
+
+// Flush makes every blob landed so far durable: one fsync per dirty blob
+// file, then one per touched blob subdirectory. Commit calls it before the
+// manifest file commits; exposed for callers that need durability without
+// a manifest (none in-tree today, tests aside).
+func (s *BlobStore) Flush() error {
+	// Serialise flushes: a Commit must not race past a concurrent flush
+	// that snapshotted (but has not yet synced) the blobs it depends on.
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	if len(s.dirty) == 0 && len(s.dirtyDirs) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	files := make([]string, 0, len(s.dirty))
+	for p := range s.dirty {
+		files = append(files, p)
+	}
+	dirs := make([]string, 0, len(s.dirtyDirs))
+	for d := range s.dirtyDirs {
+		dirs = append(dirs, d)
+	}
+	s.dirty = make(map[string]struct{})
+	s.dirtyDirs = make(map[string]struct{})
+	s.mu.Unlock()
+	for _, p := range files {
+		f, err := os.Open(p)
+		if errors.Is(err, os.ErrNotExist) {
+			continue // GC'd between snapshot and sync
+		}
+		if err != nil {
+			return err
+		}
+		err = f.Sync()
+		f.Close() //nolint:errcheck // read-only handle
+		if err != nil {
+			return err
+		}
+	}
+	for _, d := range dirs {
+		if err := syncDir(d); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -301,10 +378,21 @@ func (s *BlobStore) Release(held []Key) {
 	}
 }
 
-// commitFile writes data as path atomically: unique tmp in the same
-// directory (concurrent writers of one path must not share a temp), fsync,
-// rename.
+// commitFile writes data as path atomically and durably: unique tmp in the
+// same directory (concurrent writers of one path must not share a temp),
+// fsync, rename.
 func commitFile(path string, data []byte) error {
+	return writeFile(path, data, true)
+}
+
+// writeFileNoSync writes data as path atomically but defers durability:
+// the rename makes the content visible, the caller batches the fsync
+// later (the blob group-commit path).
+func writeFileNoSync(path string, data []byte) error {
+	return writeFile(path, data, false)
+}
+
+func writeFile(path string, data []byte, durable bool) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
 	if err != nil {
 		return err
@@ -315,10 +403,12 @@ func commitFile(path string, data []byte) error {
 		os.Remove(tmp) //nolint:errcheck // best effort
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()      //nolint:errcheck // already failing
-		os.Remove(tmp) //nolint:errcheck // best effort
-		return err
+	if durable {
+		if err := f.Sync(); err != nil {
+			f.Close()      //nolint:errcheck // already failing
+			os.Remove(tmp) //nolint:errcheck // best effort
+			return err
+		}
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp) //nolint:errcheck // best effort
@@ -353,10 +443,8 @@ func DecodeBlob(k Key, comp []byte) ([]byte, error) {
 	if rawLen < 0 || rawLen > MaxChunk*2 {
 		return nil, fmt.Errorf("%w: %s: raw length %d", ErrCorruptBlob, k, rawLen)
 	}
-	fr := flate.NewReader(bytes.NewReader(comp[blobHdrLen:]))
-	defer fr.Close() //nolint:errcheck // flate readers cannot fail on close
 	raw := make([]byte, rawLen)
-	if _, err := io.ReadFull(fr, raw); err != nil {
+	if err := inflateInto(raw, comp[blobHdrLen:]); err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptBlob, k, err)
 	}
 	if sha256.Sum256(raw) != [sha256.Size]byte(k) {
@@ -382,6 +470,11 @@ func (s *BlobStore) ReadBlob(k Key) ([]byte, error) {
 func (s *BlobStore) Commit(name string, m *Manifest) error {
 	if strings.ContainsAny(name, "/\\") {
 		return fmt.Errorf("dedup: bad manifest name %q", name)
+	}
+	// Group-commit: every blob landed since the last flush becomes durable
+	// here, before the manifest that references any of them commits.
+	if err := s.Flush(); err != nil {
+		return err
 	}
 	path := filepath.Join(s.manifestDir(), name+manifestSuffix)
 	if err := commitFile(path, m.Encode()); err != nil {

@@ -1,0 +1,468 @@
+package dedup
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"vmicache/internal/backend"
+)
+
+// The parallel dedup pipeline. Chunk cutting is inherently serial — each
+// boundary depends on the rolling hash of the bytes before it — but
+// everything downstream of a boundary is per-chunk work: SHA-256, DEFLATE,
+// blob landing. BuildParallel therefore runs three stages:
+//
+//	cutter     one goroutine: reads the image through a sliding window,
+//	           cuts content-defined boundaries, copies each chunk into a
+//	           pooled buffer and queues it.
+//	workers    opts.Workers goroutines: SHA-256 each chunk, and (with
+//	           opts.Compress) produce its length-framed DEFLATE wire blob.
+//	committer  the calling goroutine: consumes chunks in submission order,
+//	           folds them into the whole-image checksum, and calls emit.
+//
+// The committer preserves the serial contract exactly: emit runs on the
+// caller's goroutine, once per chunk, in manifest order, and the manifest
+// (entries, length, whole-image SHA-256) is byte-identical to a serial
+// Build at every worker count. Throughput is bounded by the slowest serial
+// stage — the cutter's gear hash or the committer's whole-image SHA —
+// with per-chunk hashing and compression spread across the pool.
+//
+// Materialize is the mirror image for reads: workers decode and verify
+// blobs concurrently while the ordered committer writes them out and
+// re-derives the whole-image checksum.
+
+// BuildOpts tunes BuildParallel.
+type BuildOpts struct {
+	// Workers is the hash/compress parallelism. Values <= 1 run the
+	// single-threaded path (no goroutines, no handoff overhead).
+	Workers int
+
+	// Compress makes the workers also produce each chunk's wire blob
+	// (8-byte raw length + DEFLATE) and passes it to emit, so a store
+	// landing the chunk skips its own compression pass.
+	Compress bool
+}
+
+// errPipelineCanceled marks jobs abandoned after the pipeline already
+// failed; it is never returned to callers (the first real error wins).
+var errPipelineCanceled = errors.New("dedup: pipeline canceled")
+
+// batchTarget is how many chunk bytes the cutter packs into one pipeline
+// job. Cutting produces a chunk every ~AvgChunk bytes; handing each to a
+// worker individually would cost a channel round trip per ~16 KiB of work,
+// so jobs batch chunks until they hold ~batchTarget bytes and the handoff
+// amortises over dozens of hashes.
+const batchTarget = 256 << 10
+
+// buildJob is one batch of chunks moving through the build pipeline.
+type buildJob struct {
+	buf   *[]byte         // pooled batch buffer; chunks packed back-to-back
+	lens  []int           // chunk lengths, in image order
+	es    []Entry         // filled by the worker
+	comps []*bytes.Buffer // pooled wire-blob buffers (Compress only)
+	err   error
+	done  chan struct{}
+}
+
+var (
+	windowPool = sync.Pool{New: func() any {
+		// 2×MaxChunk so a boundary decision never runs out of lookahead
+		// except at true EOF.
+		b := make([]byte, 2*MaxChunk)
+		return &b
+	}}
+	batchBufPool = sync.Pool{New: func() any {
+		// One more MaxChunk of slack: the cutter packs until the target is
+		// crossed, so the final chunk of a batch may overhang.
+		b := make([]byte, batchTarget+MaxChunk)
+		return &b
+	}}
+	chunkBufPool = sync.Pool{New: func() any {
+		b := make([]byte, MaxChunk)
+		return &b
+	}}
+	compBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// chunker pulls content-defined chunks out of r through a pooled sliding
+// window. Returned slices alias the window and are valid until the next
+// call.
+type chunker struct {
+	r      io.ReaderAt
+	length int64
+	buf    []byte
+	pos    int
+	filled int
+	off    int64
+}
+
+// next returns the next chunk, or nil at end of image.
+func (c *chunker) next() ([]byte, error) {
+	if c.filled-c.pos < MaxChunk && c.off < c.length {
+		// Compact and top up so the cut sees full MaxChunk lookahead
+		// whenever more bytes exist.
+		copy(c.buf, c.buf[c.pos:c.filled])
+		c.filled -= c.pos
+		c.pos = 0
+		for c.filled < len(c.buf) && c.off < c.length {
+			n := len(c.buf) - c.filled
+			if rem := c.length - c.off; rem < int64(n) {
+				n = int(rem)
+			}
+			if _, err := c.r.ReadAt(c.buf[c.filled:c.filled+n], c.off); err != nil && err != io.EOF {
+				return nil, err
+			}
+			c.filled += n
+			c.off += int64(n)
+		}
+	}
+	if c.pos >= c.filled {
+		return nil, nil
+	}
+	lookahead := c.filled - c.pos
+	if lookahead > MaxChunk {
+		lookahead = MaxChunk
+	}
+	n := cutPoint(c.buf[c.pos : c.pos+lookahead])
+	chunk := c.buf[c.pos : c.pos+n]
+	c.pos += n
+	return chunk, nil
+}
+
+// encodeWireBlob renders raw as the length-framed compressed blob format
+// (the blob disk/wire layout) into buf, which is reset first.
+func encodeWireBlob(buf *bytes.Buffer, raw []byte) error {
+	buf.Reset()
+	var hdr [blobHdrLen]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(raw)))
+	buf.Write(hdr[:]) //nolint:errcheck // bytes.Buffer writes cannot fail
+	return deflateTo(buf, raw)
+}
+
+// BuildParallel chunks length bytes of r content-defined, spreading
+// per-chunk hashing (and, with opts.Compress, compression) across
+// opts.Workers goroutines. emit is called once per chunk on the calling
+// goroutine, in manifest order; raw (and comp, when opts.Compress) are
+// valid only during the call. The returned manifest — entries, length, and
+// whole-image checksum — is byte-identical to a serial Build.
+func BuildParallel(r io.ReaderAt, length int64, opts BuildOpts, emit func(e Entry, raw, comp []byte) error) (*Manifest, error) {
+	if opts.Workers <= 1 {
+		return buildSerial(r, length, opts.Compress, emit)
+	}
+
+	// Two bounded queues carry each job: work feeds whichever worker is
+	// free, order restores submission order at the committer. Their
+	// capacities bound pipeline memory to O(Workers) batch buffers.
+	work := make(chan *buildJob, opts.Workers)
+	order := make(chan *buildJob, opts.Workers*2)
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range work {
+				if stop.Load() {
+					job.err = errPipelineCanceled
+				} else {
+					buf := *job.buf
+					job.es = make([]Entry, len(job.lens))
+					off := 0
+					for i, n := range job.lens {
+						raw := buf[off : off+n]
+						job.es[i] = Entry{Hash: Key(sha256.Sum256(raw)), Len: uint32(n)}
+						if opts.Compress {
+							cb := compBufPool.Get().(*bytes.Buffer)
+							if err := encodeWireBlob(cb, raw); err != nil {
+								compBufPool.Put(cb)
+								job.err = err
+								break
+							}
+							job.comps = append(job.comps, cb)
+						}
+						off += n
+					}
+				}
+				close(job.done)
+			}
+		}()
+	}
+
+	// Cutter: serial boundary detection packing chunks into batch jobs and
+	// feeding both queues. Its error (a read failure) is published before
+	// the channels close, so the committer observes it after draining.
+	var cutErr error
+	go func() {
+		defer close(work)
+		defer close(order)
+		wb := windowPool.Get().(*[]byte)
+		defer windowPool.Put(wb)
+		c := &chunker{r: r, length: length, buf: *wb}
+		var job *buildJob
+		used := 0
+		flush := func() {
+			if job == nil {
+				return
+			}
+			work <- job
+			order <- job
+			job, used = nil, 0
+		}
+		defer func() {
+			if job != nil { // canceled or failed mid-batch
+				batchBufPool.Put(job.buf)
+			}
+		}()
+		for !stop.Load() {
+			chunk, err := c.next()
+			if err != nil {
+				cutErr = err
+				return
+			}
+			if chunk == nil {
+				flush()
+				return
+			}
+			if job == nil {
+				job = &buildJob{buf: batchBufPool.Get().(*[]byte), done: make(chan struct{})}
+			}
+			used += copy((*job.buf)[used:], chunk)
+			job.lens = append(job.lens, len(chunk))
+			if used >= batchTarget {
+				flush()
+			}
+		}
+	}()
+
+	// Committer: the calling goroutine restores manifest order, folds the
+	// whole-image checksum, and runs emit. After the first failure it
+	// keeps draining so every pooled buffer comes home and the cutter and
+	// workers shut down.
+	m := &Manifest{Length: length}
+	whole := sha256.New()
+	var firstErr error
+	for job := range order {
+		<-job.done
+		if firstErr == nil && job.err != nil {
+			firstErr = job.err
+			stop.Store(true)
+		}
+		if firstErr == nil {
+			buf := *job.buf
+			off := 0
+			for i, n := range job.lens {
+				raw := buf[off : off+n]
+				whole.Write(raw) //nolint:errcheck // hash writes cannot fail
+				if emit != nil {
+					var comp []byte
+					if i < len(job.comps) {
+						comp = job.comps[i].Bytes()
+					}
+					if err := emit(job.es[i], raw, comp); err != nil {
+						firstErr = err
+						stop.Store(true)
+						break
+					}
+				}
+				m.Entries = append(m.Entries, job.es[i])
+				off += n
+			}
+		}
+		for _, cb := range job.comps {
+			compBufPool.Put(cb)
+		}
+		batchBufPool.Put(job.buf)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if cutErr != nil {
+		return nil, cutErr
+	}
+	m.Checksum = Key(whole.Sum(nil))
+	return m, nil
+}
+
+// buildSerial is the single-threaded reference pipeline: one pass, pooled
+// window, no goroutines.
+func buildSerial(r io.ReaderAt, length int64, compress bool, emit func(e Entry, raw, comp []byte) error) (*Manifest, error) {
+	m := &Manifest{Length: length}
+	whole := sha256.New()
+	wb := windowPool.Get().(*[]byte)
+	defer windowPool.Put(wb)
+	var compBuf *bytes.Buffer
+	if compress {
+		compBuf = compBufPool.Get().(*bytes.Buffer)
+		defer compBufPool.Put(compBuf)
+	}
+	c := &chunker{r: r, length: length, buf: *wb}
+	for {
+		chunk, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		e := Entry{Hash: Key(sha256.Sum256(chunk)), Len: uint32(len(chunk))}
+		whole.Write(chunk) //nolint:errcheck // hash writes cannot fail
+		if emit != nil {
+			var comp []byte
+			if compress {
+				if err := encodeWireBlob(compBuf, chunk); err != nil {
+					return nil, err
+				}
+				comp = compBuf.Bytes()
+			}
+			if err := emit(e, chunk, comp); err != nil {
+				return nil, err
+			}
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	m.Checksum = Key(whole.Sum(nil))
+	return m, nil
+}
+
+// matJob is one chunk moving through the materialize pipeline.
+type matJob struct {
+	e    Entry
+	raw  *[]byte // pooled; decoded chunk is (*raw)[:e.Len]
+	err  error
+	done chan struct{}
+}
+
+// Materialize writes man's content into w from src's blobs, decoding and
+// hash-verifying up to workers chunks concurrently while the calling
+// goroutine writes them out in order and re-derives the whole-image
+// checksum. workers <= 1 decodes serially. Every chunk is verified against
+// its entry hash and the finished image against man.Checksum, exactly like
+// the serial path.
+func Materialize(w io.WriterAt, man *Manifest, src *BlobStore, workers int) error {
+	if workers <= 1 {
+		return materializeSerial(w, man, src)
+	}
+	inflight := workers * 2
+	work := make(chan *matJob, inflight)
+	order := make(chan *matJob, inflight*2)
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range work {
+				if stop.Load() {
+					job.err = errPipelineCanceled
+				} else {
+					job.raw, job.err = decodeChunk(src, job.e)
+				}
+				close(job.done)
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		defer close(order)
+		for _, e := range man.Entries {
+			if stop.Load() {
+				return
+			}
+			job := &matJob{e: e, done: make(chan struct{})}
+			work <- job
+			order <- job
+		}
+	}()
+
+	whole := sha256.New()
+	var off int64
+	var firstErr error
+	for job := range order {
+		<-job.done
+		if firstErr == nil {
+			if job.err != nil {
+				firstErr = job.err
+				stop.Store(true)
+			} else {
+				raw := (*job.raw)[:job.e.Len]
+				if err := backend.WriteFull(w, raw, off); err != nil {
+					firstErr = err
+					stop.Store(true)
+				} else {
+					whole.Write(raw) //nolint:errcheck // hash writes cannot fail
+					off += int64(len(raw))
+				}
+			}
+		}
+		if job.raw != nil {
+			chunkBufPool.Put(job.raw)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if sum := Key(whole.Sum(nil)); sum != man.Checksum {
+		return fmt.Errorf("dedup: materialized image fails manifest checksum")
+	}
+	return nil
+}
+
+func materializeSerial(w io.WriterAt, man *Manifest, src *BlobStore) error {
+	whole := sha256.New()
+	var off int64
+	for _, e := range man.Entries {
+		rawBuf, err := decodeChunk(src, e)
+		if err != nil {
+			return err
+		}
+		raw := (*rawBuf)[:e.Len]
+		err = backend.WriteFull(w, raw, off)
+		if err == nil {
+			whole.Write(raw) //nolint:errcheck // hash writes cannot fail
+			off += int64(len(raw))
+		}
+		chunkBufPool.Put(rawBuf)
+		if err != nil {
+			return err
+		}
+	}
+	if sum := Key(whole.Sum(nil)); sum != man.Checksum {
+		return fmt.Errorf("dedup: materialized image fails manifest checksum")
+	}
+	return nil
+}
+
+// decodeChunk reads entry e's blob and inflates it into a pooled buffer,
+// verifying the blob's framed length against the manifest and its content
+// hash against the entry. The caller owns the returned buffer and recycles
+// it into chunkBufPool.
+func decodeChunk(src *BlobStore, e Entry) (*[]byte, error) {
+	comp, rawLen, err := src.ReadCompressed(e.Hash)
+	if err != nil {
+		return nil, err
+	}
+	if rawLen != int64(e.Len) || int64(e.Len) > MaxChunk {
+		return nil, fmt.Errorf("dedup: blob %v: %d bytes, manifest says %d", e.Hash, rawLen, e.Len)
+	}
+	buf := chunkBufPool.Get().(*[]byte)
+	raw := (*buf)[:e.Len]
+	if err := inflateInto(raw, comp[blobHdrLen:]); err != nil {
+		chunkBufPool.Put(buf)
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptBlob, e.Hash, err)
+	}
+	if Key(sha256.Sum256(raw)) != e.Hash {
+		chunkBufPool.Put(buf)
+		return nil, fmt.Errorf("%w: %s: hash mismatch", ErrCorruptBlob, e.Hash)
+	}
+	return buf, nil
+}

@@ -1,0 +1,440 @@
+package dedup
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// memImage loads data into a mem file for ReaderAt-based building.
+func memImage(t testing.TB, data []byte) backend.File {
+	t.Helper()
+	f := backend.NewMemFileSize(int64(len(data)))
+	if len(data) > 0 {
+		if err := backend.WriteFull(f, data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// testImages returns named contents exercising the chunker edge cases:
+// empty, sub-MinChunk, one-chunk, multi-chunk random with an odd tail, and
+// low-entropy repetitive content that only cuts at MaxChunk.
+func testImages(t testing.TB) map[string][]byte {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(42))
+	random := make([]byte, 1<<20+12345)
+	rnd.Read(random)
+	tiny := make([]byte, MinChunk/2)
+	rnd.Read(tiny)
+	one := make([]byte, MinChunk+100)
+	rnd.Read(one)
+	return map[string][]byte{
+		"empty":      nil,
+		"tiny":       tiny,
+		"one-chunk":  one,
+		"random":     random,
+		"repetitive": bytes.Repeat([]byte{0xAB}, 3*MaxChunk+777),
+	}
+}
+
+// TestBuildParallelByteIdentical is the core ordering guarantee: the
+// manifest a parallel build produces — entries, order, length, whole-image
+// checksum, and thus the encoded bytes — must equal the serial reference at
+// every worker count, and emit must observe the same chunk sequence.
+func TestBuildParallelByteIdentical(t *testing.T) {
+	for name, data := range testImages(t) {
+		t.Run(name, func(t *testing.T) {
+			src := memImage(t, data)
+			var refChunks [][]byte
+			ref, err := Build(src, int64(len(data)), func(e Entry, raw []byte) error {
+				refChunks = append(refChunks, append([]byte(nil), raw...))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refEnc := ref.Encode()
+			for _, workers := range []int{1, 2, 3, 4, 8} {
+				var gotChunks [][]byte
+				m, err := BuildParallel(src, int64(len(data)), BuildOpts{Workers: workers}, func(e Entry, raw, comp []byte) error {
+					gotChunks = append(gotChunks, append([]byte(nil), raw...))
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(m.Encode(), refEnc) {
+					t.Fatalf("workers=%d: manifest differs from serial build", workers)
+				}
+				if len(gotChunks) != len(refChunks) {
+					t.Fatalf("workers=%d: %d chunks, serial emitted %d", workers, len(gotChunks), len(refChunks))
+				}
+				for i := range gotChunks {
+					if !bytes.Equal(gotChunks[i], refChunks[i]) {
+						t.Fatalf("workers=%d: chunk %d bytes differ", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildParallelCompressedBlobs checks the Compress path: every emitted
+// wire blob decodes back to the raw chunk, and PutBuilt accepts it.
+func TestBuildParallelCompressedBlobs(t *testing.T) {
+	data := testImages(t)["random"]
+	src := memImage(t, data)
+	s, err := OpenBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held []Key
+	m, err := BuildParallel(src, int64(len(data)), BuildOpts{Workers: 4, Compress: true}, func(e Entry, raw, comp []byte) error {
+		dec, err := DecodeBlob(e.Hash, comp)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(dec, raw) {
+			return errors.New("wire blob decodes to different bytes")
+		}
+		if err := s.PutBuilt(e.Hash, comp, int64(e.Len)); err != nil {
+			return err
+		}
+		held = append(held, e.Hash)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("img", m); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(held)
+	out := backend.NewMemFileSize(m.Length)
+	if err := Materialize(out, m, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := backend.ReadFull(out, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("materialized bytes differ from source")
+	}
+}
+
+func TestPutBuiltRejectsBadFrame(t *testing.T) {
+	s, err := OpenBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte("hello chunk")
+	k := Key(sha256.Sum256(raw))
+	var buf bytes.Buffer
+	if err := encodeWireBlob(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	// Frame length disagreeing with the claimed raw length must be refused.
+	if err := s.PutBuilt(k, buf.Bytes(), int64(len(raw))+1); !errors.Is(err, ErrCorruptBlob) {
+		t.Fatalf("bad frame accepted: %v", err)
+	}
+	if err := s.PutBuilt(k, []byte{1, 2}, 2); !errors.Is(err, ErrCorruptBlob) {
+		t.Fatalf("truncated frame accepted: %v", err)
+	}
+	if err := s.PutBuilt(k, buf.Bytes(), int64(len(raw))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadBlob(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("PutBuilt blob reads back wrong")
+	}
+}
+
+// TestBuildParallelEmitError is the fault-injection case: a mid-pipeline
+// failure must surface as the first error, terminate promptly (no hang, no
+// goroutine leak blocking the return), and — when the emitter was landing
+// blobs — leave no staged state behind after Release.
+func TestBuildParallelEmitError(t *testing.T) {
+	data := testImages(t)["random"]
+	src := memImage(t, data)
+	s, err := OpenBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	var held []Key
+	calls := 0
+	_, err = BuildParallel(src, int64(len(data)), BuildOpts{Workers: 4, Compress: true}, func(e Entry, raw, comp []byte) error {
+		calls++
+		if calls == 5 {
+			return boom
+		}
+		if err := s.PutBuilt(e.Hash, comp, int64(e.Len)); err != nil {
+			return err
+		}
+		held = append(held, e.Hash)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if calls != 5 {
+		t.Fatalf("emit called %d times after failure at call 5", calls)
+	}
+	// The failed publication releases its stage holds; with no manifest
+	// committed every blob must be GC'd.
+	s.Release(held)
+	if st := s.Stats(); st.Blobs != 0 || st.Manifests != 0 {
+		t.Fatalf("failed publish leaked state: %+v", st)
+	}
+}
+
+// errReaderAt fails after limit bytes.
+type errReaderAt struct {
+	data  []byte
+	limit int64
+}
+
+func (e *errReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > e.limit {
+		return 0, errors.New("injected read failure")
+	}
+	return copy(p, e.data[off:]), nil
+}
+
+func TestBuildParallelReadError(t *testing.T) {
+	data := testImages(t)["random"]
+	r := &errReaderAt{data: data, limit: 512 << 10}
+	_, err := BuildParallel(r, int64(len(data)), BuildOpts{Workers: 4}, nil)
+	if err == nil || err.Error() != "injected read failure" {
+		t.Fatalf("err = %v, want injected read failure", err)
+	}
+	_, err = Build(r, int64(len(data)), nil)
+	if err == nil {
+		t.Fatal("serial build swallowed read failure")
+	}
+}
+
+// buildInto publishes data into s under name, returning the manifest.
+func buildInto(t testing.TB, s *BlobStore, name string, data []byte, workers int) *Manifest {
+	t.Helper()
+	src := memImage(t, data)
+	var held []Key
+	m, err := BuildParallel(src, int64(len(data)), BuildOpts{Workers: workers, Compress: true}, func(e Entry, raw, comp []byte) error {
+		if err := s.PutBuilt(e.Hash, comp, int64(e.Len)); err != nil {
+			return err
+		}
+		held = append(held, e.Hash)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(name, m); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(held)
+	return m
+}
+
+// TestMaterializeParallelMatchesSerial checks that the parallel decode
+// pipeline reproduces the image byte-for-byte at several worker counts and
+// verifies the whole-image checksum.
+func TestMaterializeParallelMatchesSerial(t *testing.T) {
+	data := testImages(t)["random"]
+	s, err := OpenBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := buildInto(t, s, "img", data, 4)
+	for _, workers := range []int{1, 2, 4, 8} {
+		out := backend.NewMemFileSize(m.Length)
+		if err := Materialize(out, m, s, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := make([]byte, len(data))
+		if err := backend.ReadFull(out, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("workers=%d: materialized bytes differ", workers)
+		}
+	}
+}
+
+// TestMaterializeDetectsCorruption flips a byte inside one on-disk blob and
+// expects both serial and parallel materialization to fail, not to write a
+// silently wrong image.
+func TestMaterializeDetectsCorruption(t *testing.T) {
+	data := testImages(t)["random"]
+	s, err := OpenBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := buildInto(t, s, "img", data, 4)
+	victim := m.Entries[len(m.Entries)/2].Hash
+	path := s.blobPath(victim)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[blobHdrLen+len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		out := backend.NewMemFileSize(m.Length)
+		if err := Materialize(out, m, s, workers); err == nil {
+			t.Fatalf("workers=%d: corrupt blob materialized without error", workers)
+		}
+	}
+}
+
+// TestFlushGroupCommit checks the fsync batching bookkeeping: landings
+// accumulate in the dirty set, Commit's flush drains it, and a second flush
+// is a no-op.
+func TestFlushGroupCommit(t *testing.T) {
+	s, err := OpenBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testImages(t)["random"]
+	src := memImage(t, data)
+	var held []Key
+	m, err := BuildParallel(src, int64(len(data)), BuildOpts{Workers: 2, Compress: true}, func(e Entry, raw, comp []byte) error {
+		if err := s.PutBuilt(e.Hash, comp, int64(e.Len)); err != nil {
+			return err
+		}
+		held = append(held, e.Hash)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	dirty := len(s.dirty)
+	s.mu.Unlock()
+	if dirty != len(held) {
+		t.Fatalf("dirty = %d files, landed %d blobs", dirty, len(held))
+	}
+	if err := s.Commit("img", m); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(held)
+	s.mu.Lock()
+	dirty, dirs := len(s.dirty), len(s.dirtyDirs)
+	s.mu.Unlock()
+	if dirty != 0 || dirs != 0 {
+		t.Fatalf("dirty set not drained by Commit: %d files, %d dirs", dirty, dirs)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("idempotent flush: %v", err)
+	}
+	// Reopen: the committed image survives and materializes.
+	s2, err := OpenBlobStore(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ok := s2.Manifest("img")
+	if !ok {
+		t.Fatal("manifest lost across reopen")
+	}
+	out := backend.NewMemFileSize(m2.Length)
+	if err := Materialize(out, m2, s2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupPipelineStress drives concurrent parallel builds, materializes,
+// and evictions against one BlobStore — the -race workout for the stage
+// holds, group-commit dirty set, and codec pools.
+func TestDedupPipelineStress(t *testing.T) {
+	s, err := OpenBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make([]byte, 256<<10)
+	rand.New(rand.NewSource(7)).Read(shared)
+	const publishers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, publishers*4)
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Each image shares a prefix (cross-image dedup under load) and
+			// carries a private suffix.
+			data := make([]byte, len(shared)+64<<10)
+			copy(data, shared)
+			rand.New(rand.NewSource(int64(100 + p))).Read(data[len(shared):])
+			name := fmt.Sprintf("img-%d", p)
+			for round := 0; round < 3; round++ {
+				src := memImage(t, data)
+				var held []Key
+				m, err := BuildParallel(src, int64(len(data)), BuildOpts{Workers: 2, Compress: true}, func(e Entry, raw, comp []byte) error {
+					if err := s.PutBuilt(e.Hash, comp, int64(e.Len)); err != nil {
+						return err
+					}
+					held = append(held, e.Hash)
+					return nil
+				})
+				if err == nil {
+					err = s.Commit(name, m)
+				}
+				s.Release(held)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out := backend.NewMemFileSize(m.Length)
+				if err := Materialize(out, m, s, 2); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, len(data))
+				if err := backend.ReadFull(out, got, 0); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("publisher %d round %d: content mismatch", p, round)
+					return
+				}
+				if round == 1 {
+					// Evict mid-run so GC races the other publishers' stages.
+					if err := s.Drop(name); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Manifests != publishers {
+		t.Fatalf("manifests = %d, want %d", st.Manifests, publishers)
+	}
+	if st.SharedBytes == 0 {
+		t.Fatal("no cross-image sharing recorded")
+	}
+}
+
+var _ io.ReaderAt = (*errReaderAt)(nil)

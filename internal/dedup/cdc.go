@@ -39,6 +39,12 @@ var gearTable = func() [256]uint64 {
 	return t
 }()
 
+// gearWindow is the effective width of the rolling hash: each table value
+// entering h is shifted left once per subsequent byte, so after 64 shifts
+// its contribution has left the 64-bit state entirely. The hash at any
+// position therefore depends only on the last 64 bytes before it.
+const gearWindow = 64
+
 // cutPoint returns the length of the first content-defined chunk of p
 // (p non-empty). If no boundary fires the chunk is capped at MaxChunk, and
 // a short final buffer is one whole chunk.
@@ -51,9 +57,12 @@ func cutPoint(p []byte) int {
 		n = MaxChunk
 	}
 	var h uint64
-	// The hash warms up over the MinChunk prefix so boundaries depend on
-	// a full window of content, then fires at the first masked zero.
-	for i := 0; i < MinChunk; i++ {
+	// Warm the hash up to its state at the MinChunk boundary. Only the
+	// last gearWindow bytes of the prefix contribute (older bytes have
+	// shifted out of the 64-bit state), so the warm-up skips the rest of
+	// the MinChunk prefix — same boundaries, ~MinChunk fewer table
+	// lookups per chunk.
+	for i := MinChunk - gearWindow; i < MinChunk; i++ {
 		h = (h << 1) + gearTable[p[i]]
 	}
 	for i := MinChunk; i < n; i++ {

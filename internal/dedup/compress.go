@@ -37,11 +37,12 @@ func CompressStream(w io.Writer, src io.ReaderAt, length int64) (int64, error) {
 	if _, err := cw.Write(hdr[:]); err != nil {
 		return cw.n, err
 	}
-	fw, err := flate.NewWriter(cw, flate.BestSpeed)
-	if err != nil {
-		return cw.n, err
-	}
-	buf := make([]byte, 256<<10)
+	fw := flateWriterPool.Get().(*flate.Writer)
+	defer flateWriterPool.Put(fw)
+	fw.Reset(cw)
+	bp := GetStreamBuf()
+	defer PutStreamBuf(bp)
+	buf := *bp
 	for off := int64(0); off < length; {
 		n := int64(len(buf))
 		if rem := length - off; rem < n {
@@ -70,9 +71,15 @@ func DecompressStream(dst io.WriterAt, r io.Reader) (int64, error) {
 		return 0, err
 	}
 	length := int64(binary.BigEndian.Uint64(hdr[:]))
-	fr := flate.NewReader(br)
-	defer fr.Close() //nolint:errcheck // flate readers cannot fail on close
-	buf := make([]byte, 256<<10)
+	frc := blobReaderPool.Get().(*blobReader)
+	defer blobReaderPool.Put(frc)
+	if err := frc.fr.(flate.Resetter).Reset(br, nil); err != nil {
+		return 0, err
+	}
+	fr := frc.fr
+	bp := GetStreamBuf()
+	defer PutStreamBuf(bp)
+	buf := *bp
 	var off int64
 	for off < length {
 		n, err := fr.Read(buf)

@@ -3,18 +3,22 @@
 // from the same operating system distribution share content", §7.3) and
 // compression of cache images for storage and transfer.
 //
-// A Store keeps fixed-size chunks addressed by their SHA-256; putting many
-// warm cache images of related VMIs into one store keeps a single physical
-// copy of every shared chunk, shrinking the cache pool on the storage
-// node's memory or the compute nodes' disks.
+// The package is organised around content-defined chunking (cdc.go): a
+// gear-hash cutter splits images into variable-size chunks so shared runs
+// dedup across images regardless of alignment. Build/BuildParallel
+// (build.go) turn an image into a Manifest — an ordered list of chunk
+// hashes plus a whole-image checksum — while handing each chunk to the
+// caller for storage. BlobStore (blobstore.go) is the durable
+// content-addressed tier: compressed blobs shared by reference across
+// manifests, with staged publication and group-commit fsync. Materialize
+// reassembles an image from a manifest, verifying every chunk and the
+// whole-image checksum. The stream codecs (compress.go) cover the
+// whole-file compressed transfer path that predates chunking.
 package dedup
 
 import (
 	"crypto/sha256"
-	"errors"
 	"fmt"
-	"io"
-	"sync"
 )
 
 // Key addresses one chunk by content.
@@ -22,151 +26,3 @@ type Key [sha256.Size]byte
 
 // String renders a short hex prefix.
 func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
-
-// Recipe reconstructs an object from its chunk sequence plus exact length.
-type Recipe struct {
-	Keys   []Key
-	Length int64
-}
-
-// Store is a content-addressed chunk store.
-type Store struct {
-	chunkSize int64
-
-	mu      sync.RWMutex
-	chunks  map[Key][]byte
-	refs    map[Key]int64
-	logical int64 // bytes stored counting duplicates
-}
-
-// ErrUnknownChunk is returned when a recipe references a missing chunk.
-var ErrUnknownChunk = errors.New("dedup: unknown chunk")
-
-// NewStore returns a store with the given chunk size (0 = 64 KiB).
-func NewStore(chunkSize int64) *Store {
-	if chunkSize <= 0 {
-		chunkSize = 64 << 10
-	}
-	return &Store{
-		chunkSize: chunkSize,
-		chunks:    make(map[Key][]byte),
-		refs:      make(map[Key]int64),
-	}
-}
-
-// ChunkSize reports the store's chunk size.
-func (s *Store) ChunkSize() int64 { return s.chunkSize }
-
-// Put stores an object, deduplicating its chunks, and returns its recipe.
-func (s *Store) Put(r io.ReaderAt, length int64) (Recipe, error) {
-	rec := Recipe{Length: length}
-	buf := make([]byte, s.chunkSize)
-	for off := int64(0); off < length; off += s.chunkSize {
-		n := s.chunkSize
-		if rem := length - off; rem < n {
-			n = rem
-		}
-		if _, err := r.ReadAt(buf[:n], off); err != nil && err != io.EOF {
-			return Recipe{}, err
-		}
-		// The final partial chunk hashes zero-padded to full size so
-		// equal tails dedup regardless of their neighbours.
-		for i := n; i < s.chunkSize; i++ {
-			buf[i] = 0
-		}
-		key := Key(sha256.Sum256(buf))
-		s.mu.Lock()
-		if _, ok := s.chunks[key]; !ok {
-			stored := make([]byte, s.chunkSize)
-			copy(stored, buf)
-			s.chunks[key] = stored
-		}
-		s.refs[key]++
-		s.logical += n
-		s.mu.Unlock()
-		rec.Keys = append(rec.Keys, key)
-	}
-	return rec, nil
-}
-
-// ReadAt reconstructs a byte range of an object from its recipe.
-func (s *Store) ReadAt(rec Recipe, p []byte, off int64) (int, error) {
-	if off < 0 || off >= rec.Length {
-		return 0, io.EOF
-	}
-	n := len(p)
-	var errEOF error
-	if off+int64(n) > rec.Length {
-		n = int(rec.Length - off)
-		errEOF = io.EOF
-	}
-	done := 0
-	for done < n {
-		pos := off + int64(done)
-		ci := pos / s.chunkSize
-		co := pos % s.chunkSize
-		want := n - done
-		if avail := int(s.chunkSize - co); want > avail {
-			want = avail
-		}
-		s.mu.RLock()
-		chunk, ok := s.chunks[rec.Keys[ci]]
-		s.mu.RUnlock()
-		if !ok {
-			return done, ErrUnknownChunk
-		}
-		copy(p[done:done+want], chunk[co:])
-		done += want
-	}
-	return n, errEOF
-}
-
-// Drop releases one reference to every chunk of a recipe, freeing chunks
-// whose count reaches zero (cache eviction from a dedup pool).
-func (s *Store) Drop(rec Recipe) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, key := range rec.Keys {
-		if s.refs[key] <= 1 {
-			delete(s.refs, key)
-			delete(s.chunks, key)
-		} else {
-			s.refs[key]--
-		}
-		n := s.chunkSize
-		if rem := rec.Length - int64(i)*s.chunkSize; rem < n {
-			n = rem
-		}
-		s.logical -= n
-	}
-}
-
-// Stats describes the store's efficiency.
-type Stats struct {
-	LogicalBytes int64 // sum of object sizes as stored
-	UniqueBytes  int64 // physical chunk bytes held
-	Chunks       int
-}
-
-// Savings reports the fraction of logical bytes saved by deduplication.
-func (st Stats) Savings() float64 {
-	if st.LogicalBytes == 0 {
-		return 0
-	}
-	saved := st.LogicalBytes - st.UniqueBytes
-	if saved < 0 {
-		return 0
-	}
-	return float64(saved) / float64(st.LogicalBytes)
-}
-
-// Stats snapshots the store's accounting.
-func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{
-		LogicalBytes: s.logical,
-		UniqueBytes:  int64(len(s.chunks)) * s.chunkSize,
-		Chunks:       len(s.chunks),
-	}
-}

@@ -2,159 +2,11 @@ package dedup
 
 import (
 	"bytes"
-	"io"
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"vmicache/internal/backend"
 )
-
-func TestPutReadRoundTrip(t *testing.T) {
-	s := NewStore(4096)
-	data := make([]byte, 3*4096+500) // partial tail chunk
-	rand.New(rand.NewSource(1)).Read(data)
-	src := backend.NewMemFileSize(int64(len(data)))
-	if err := backend.WriteFull(src, data, 0); err != nil {
-		t.Fatal(err)
-	}
-	rec, err := s.Put(src, int64(len(data)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rec.Keys) != 4 {
-		t.Fatalf("chunks = %d", len(rec.Keys))
-	}
-	got := make([]byte, len(data))
-	if _, err := s.ReadAt(rec, got, 0); err != nil && err != io.EOF {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, data) {
-		t.Fatal("round trip mismatch")
-	}
-	// Unaligned partial read.
-	part := make([]byte, 5000)
-	if _, err := s.ReadAt(rec, part, 3000); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(part, data[3000:8000]) {
-		t.Fatal("partial read mismatch")
-	}
-	// EOF semantics.
-	n, err := s.ReadAt(rec, make([]byte, 1000), rec.Length-100)
-	if n != 100 || err != io.EOF {
-		t.Fatalf("eof read: n=%d err=%v", n, err)
-	}
-}
-
-func TestDeduplicationAcrossObjects(t *testing.T) {
-	s := NewStore(4096)
-	shared := make([]byte, 64<<10)
-	rand.New(rand.NewSource(2)).Read(shared)
-
-	// Two "cache images" that are 75% identical.
-	mk := func(seed int64) backend.File {
-		f := backend.NewMemFileSize(64 << 10)
-		if err := backend.WriteFull(f, shared, 0); err != nil {
-			t.Fatal(err)
-		}
-		delta := make([]byte, 16<<10)
-		rand.New(rand.NewSource(seed)).Read(delta)
-		if err := backend.WriteFull(f, delta, 48<<10); err != nil {
-			t.Fatal(err)
-		}
-		return f
-	}
-	recA, err := s.Put(mk(10), 64<<10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	recB, err := s.Put(mk(11), 64<<10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st := s.Stats()
-	if st.LogicalBytes != 128<<10 {
-		t.Fatalf("logical = %d", st.LogicalBytes)
-	}
-	// 12 shared prefix chunks + 2x4 delta chunks = 20 unique of 32
-	// logical.
-	if st.Chunks != 20 {
-		t.Fatalf("unique chunks = %d, want 20", st.Chunks)
-	}
-	if sav := st.Savings(); sav < 0.36 || sav > 0.39 {
-		t.Fatalf("savings = %v, want ~0.375", sav)
-	}
-	// Both objects still read back correctly.
-	a := make([]byte, 64<<10)
-	b := make([]byte, 64<<10)
-	if _, err := s.ReadAt(recA, a, 0); err != nil && err != io.EOF {
-		t.Fatal(err)
-	}
-	if _, err := s.ReadAt(recB, b, 0); err != nil && err != io.EOF {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a[:48<<10], b[:48<<10]) {
-		t.Fatal("shared prefix differs")
-	}
-	if bytes.Equal(a[48<<10:], b[48<<10:]) {
-		t.Fatal("deltas should differ")
-	}
-}
-
-func TestDropReleasesChunks(t *testing.T) {
-	s := NewStore(4096)
-	data := bytes.Repeat([]byte{7}, 16<<10)
-	src := backend.NewMemFileSize(int64(len(data)))
-	backend.WriteFull(src, data, 0) //nolint:errcheck
-	recA, _ := s.Put(src, int64(len(data)))
-	recB, _ := s.Put(src, int64(len(data)))
-	// All-identical chunks: one unique chunk.
-	if s.Stats().Chunks != 1 {
-		t.Fatalf("chunks = %d", s.Stats().Chunks)
-	}
-	s.Drop(recA)
-	if s.Stats().Chunks != 1 {
-		t.Fatal("drop of one ref freed shared chunk")
-	}
-	buf := make([]byte, 100)
-	if _, err := s.ReadAt(recB, buf, 0); err != nil {
-		t.Fatalf("surviving recipe unreadable: %v", err)
-	}
-	s.Drop(recB)
-	if s.Stats().Chunks != 0 || s.Stats().LogicalBytes != 0 {
-		t.Fatalf("store not empty after final drop: %+v", s.Stats())
-	}
-	if _, err := s.ReadAt(recB, buf, 0); err == nil {
-		t.Fatal("read of dropped recipe succeeded")
-	}
-}
-
-// Property: any content stored then read back equals the original.
-func TestQuickStoreRoundTrip(t *testing.T) {
-	s := NewStore(512)
-	check := func(data []byte) bool {
-		if len(data) == 0 {
-			return true
-		}
-		src := backend.NewMemFileSize(int64(len(data)))
-		if err := backend.WriteFull(src, data, 0); err != nil {
-			return false
-		}
-		rec, err := s.Put(src, int64(len(data)))
-		if err != nil {
-			return false
-		}
-		got := make([]byte, len(data))
-		if _, err := s.ReadAt(rec, got, 0); err != nil && err != io.EOF {
-			return false
-		}
-		return bytes.Equal(got, data)
-	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
-		t.Fatal(err)
-	}
-}
 
 func TestCompressDecompressStream(t *testing.T) {
 	// Compressible content (repeating blocks with noise).

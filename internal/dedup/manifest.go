@@ -92,50 +92,14 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 // chunk (in order) with its entry and raw bytes — the caller typically
 // stores the blob — and returns the finished manifest. The raw slice is
 // only valid during the call. Zero length yields an empty manifest whose
-// checksum still covers the (empty) content.
+// checksum still covers the (empty) content. Build is the serial reference
+// for BuildParallel, which produces byte-identical manifests.
 func Build(r io.ReaderAt, length int64, emit func(e Entry, raw []byte) error) (*Manifest, error) {
-	m := &Manifest{Length: length}
-	whole := sha256.New()
-	// The buffer holds 2×MaxChunk so a boundary decision never runs out
-	// of lookahead except at true EOF.
-	buf := make([]byte, 2*MaxChunk)
-	filled := 0
-	var off int64
-	for off < length || filled > 0 {
-		// Top up the window.
-		for filled < len(buf) && off < length {
-			n := len(buf) - filled
-			if rem := length - off; rem < int64(n) {
-				n = int(rem)
-			}
-			if _, err := r.ReadAt(buf[filled:filled+n], off); err != nil && err != io.EOF {
-				return nil, err
-			}
-			filled += n
-			off += int64(n)
-		}
-		atEOF := off >= length
-		// Cut complete chunks; keep a MaxChunk tail unless at EOF so the
-		// next cut still sees full lookahead.
-		pos := 0
-		for filled-pos >= MaxChunk || (atEOF && filled > pos) {
-			n := cutPoint(buf[pos : pos+min(filled-pos, MaxChunk)])
-			chunk := buf[pos : pos+n]
-			e := Entry{Hash: Key(sha256.Sum256(chunk)), Len: uint32(n)}
-			whole.Write(chunk) //nolint:errcheck // hash writes cannot fail
-			if emit != nil {
-				if err := emit(e, chunk); err != nil {
-					return nil, err
-				}
-			}
-			m.Entries = append(m.Entries, e)
-			pos += n
-		}
-		copy(buf, buf[pos:filled])
-		filled -= pos
+	var fn func(e Entry, raw, comp []byte) error
+	if emit != nil {
+		fn = func(e Entry, raw, _ []byte) error { return emit(e, raw) }
 	}
-	m.Checksum = Key(whole.Sum(nil))
-	return m, nil
+	return buildSerial(r, length, false, fn)
 }
 
 // Missing returns the distinct entries of m whose hashes fail the has

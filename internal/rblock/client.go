@@ -2,6 +2,7 @@ package rblock
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -380,6 +381,55 @@ func (c *Client) FetchChunk(hash [HashLen]byte) (comp []byte, rawLen int64, err 
 	rawLen = int64(resp.aux)
 	putFrame(resp)
 	return comp, rawLen, nil
+}
+
+// FetchChunkBatch fetches a run of content-addressed chunks in one round
+// trip. The server answers with the longest prefix of hashes it holds that
+// fits one frame, so the returned slice has between 1 and len(hashes)
+// compressed length-framed blobs, in request order; the caller re-requests
+// the unserved tail (typically after a prefix chunk landed elsewhere). A
+// first hash the server is missing yields ErrNotFound; servers that predate
+// the op yield ErrBadRequest — callers fall back to per-chunk FetchChunk.
+func (c *Client) FetchChunkBatch(hashes [][HashLen]byte) ([][]byte, error) {
+	if len(hashes) == 0 || len(hashes) > MaxBatchChunks {
+		return nil, ErrBadRequest
+	}
+	req := getFrame()
+	req.op = OpChunkBatch
+	pay := make([]byte, 0, len(hashes)*HashLen)
+	for i := range hashes {
+		pay = append(pay, hashes[i][:]...)
+	}
+	req.payload = pay
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer putFrame(resp)
+	served := int(resp.aux)
+	if served == 0 || served > len(hashes) || len(resp.payload) < served*4 {
+		c.fail(fmt.Errorf("%w: chunk batch count %d", ErrBadFrame, served))
+		return nil, c.brokenErr()
+	}
+	// One copy of the whole payload, then subslice each record out of it.
+	body := make([]byte, len(resp.payload))
+	copy(body, resp.payload)
+	blobs := make([][]byte, 0, served)
+	off := served * 4
+	for i := 0; i < served; i++ {
+		n := int(binary.BigEndian.Uint32(body[i*4:]))
+		if n < 0 || off+n > len(body) {
+			c.fail(fmt.Errorf("%w: chunk batch record %d", ErrBadFrame, i))
+			return nil, c.brokenErr()
+		}
+		blobs = append(blobs, body[off:off+n])
+		off += n
+	}
+	if off != len(body) {
+		c.fail(fmt.Errorf("%w: chunk batch trailing %d bytes", ErrBadFrame, len(body)-off))
+		return nil, c.brokenErr()
+	}
+	return blobs, nil
 }
 
 // RemoteFile is an open remote file implementing backend.File.

@@ -107,3 +107,113 @@ func TestOpChunkWithoutSource(t *testing.T) {
 		t.Fatalf("no chunk source: %v, want ErrBadRequest", err)
 	}
 }
+
+func TestOpChunkBatch(t *testing.T) {
+	mk := func(i byte, size int) ([HashLen]byte, []byte) {
+		return [HashLen]byte{i}, bytes.Repeat([]byte{i}, size)
+	}
+	src := &fakeChunks{
+		blobs:   map[[HashLen]byte][]byte{},
+		rawLens: map[[HashLen]byte]int64{},
+	}
+	var hashes [][HashLen]byte
+	for i := byte(1); i <= 5; i++ {
+		h, b := mk(i, 1000*int(i))
+		src.blobs[h] = b
+		src.rawLens[h] = int64(len(b))
+		hashes = append(hashes, h)
+	}
+	srv := NewServer(backend.NewMemStore(), ServerOpts{ReadOnly: true, Chunks: src})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	c := dial(t, addr, 0)
+
+	// Full batch: every blob comes back in request order.
+	blobs, err := c.FetchChunkBatch(hashes)
+	if err != nil {
+		t.Fatalf("FetchChunkBatch: %v", err)
+	}
+	if len(blobs) != len(hashes) {
+		t.Fatalf("served %d of %d", len(blobs), len(hashes))
+	}
+	for i, b := range blobs {
+		if !bytes.Equal(b, src.blobs[hashes[i]]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+
+	// A hole mid-run truncates the reply to the held prefix.
+	holed := append(append([][HashLen]byte{}, hashes[:2]...), [HashLen]byte{0xFF})
+	holed = append(holed, hashes[2:]...)
+	blobs, err = c.FetchChunkBatch(holed)
+	if err != nil {
+		t.Fatalf("partial batch: %v", err)
+	}
+	if len(blobs) != 2 {
+		t.Fatalf("partial batch served %d, want 2", len(blobs))
+	}
+
+	// A missing first hash is NotFound; the connection survives.
+	if _, err := c.FetchChunkBatch([][HashLen]byte{{0xFF}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing first: %v, want ErrNotFound", err)
+	}
+	if _, err := c.FetchChunkBatch(hashes[:1]); err != nil {
+		t.Fatalf("connection broken after NotFound: %v", err)
+	}
+
+	// Client-side bounds: empty and oversized batches never hit the wire.
+	if _, err := c.FetchChunkBatch(nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if _, err := c.FetchChunkBatch(make([][HashLen]byte, MaxBatchChunks+1)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+}
+
+// TestOpChunkBatchFrameCap checks the reply stops before exceeding the
+// frame payload limit: chunks that would overflow are left for the next
+// request.
+func TestOpChunkBatchFrameCap(t *testing.T) {
+	src := &fakeChunks{
+		blobs:   map[[HashLen]byte][]byte{},
+		rawLens: map[[HashLen]byte]int64{},
+	}
+	var hashes [][HashLen]byte
+	// Four 3 MiB blobs: only two fit under the 8 MiB frame cap.
+	for i := byte(1); i <= 4; i++ {
+		h := [HashLen]byte{i}
+		src.blobs[h] = bytes.Repeat([]byte{i}, 3<<20)
+		src.rawLens[h] = 3 << 20
+		hashes = append(hashes, h)
+	}
+	srv := NewServer(backend.NewMemStore(), ServerOpts{ReadOnly: true, Chunks: src})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	c := dial(t, addr, 0)
+	blobs, err := c.FetchChunkBatch(hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 2 {
+		t.Fatalf("served %d records, want 2 under frame cap", len(blobs))
+	}
+	for i, b := range blobs {
+		if !bytes.Equal(b, src.blobs[hashes[i]]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestOpChunkBatchWithoutSource(t *testing.T) {
+	_, addr, _ := newServer(t, ServerOpts{})
+	c := dial(t, addr, 0)
+	if _, err := c.FetchChunkBatch([][HashLen]byte{{1}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("no chunk source: %v, want ErrBadRequest", err)
+	}
+}

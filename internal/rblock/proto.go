@@ -62,9 +62,23 @@ const (
 	OpManifest
 	OpChunk
 
+	// OpChunkBatch fetches a run of content-addressed chunks in one round
+	// trip: the request payload is N concatenated 32-byte hashes, the reply
+	// payload N' records of [u32 compLen][compressed length-framed blob]
+	// with the record count echoed in aux. The server serves the longest
+	// prefix it holds that fits in one frame: a missing hash after at least
+	// one served record ends the reply early (the client re-requests the
+	// tail), a missing first hash answers StatusNotFound. Servers without a
+	// chunk source — or older ones that predate the op — answer
+	// StatusBadRequest, and clients fall back to per-chunk OpChunk.
+	OpChunkBatch
+
 	// replyFlag marks response frames.
 	replyFlag = 0x80
 )
+
+// MaxBatchChunks bounds the hashes one OpChunkBatch request may carry.
+const MaxBatchChunks = 256
 
 // HashLen is the content-hash size OpChunk requests carry (SHA-256).
 const HashLen = 32
@@ -143,6 +157,13 @@ type frame struct {
 	aux     uint64
 	payload []byte
 
+	// vec carries extra payload segments appended after payload on the
+	// wire without copying them into one slice (reply-side scatter/gather:
+	// OpChunkBatch sends its length-prefix slab in payload and the blob
+	// bodies here). Only outgoing frames use it; readFrame always yields a
+	// contiguous payload.
+	vec [][]byte
+
 	// pooled, when non-nil, is the pool-owned backing array of payload, and
 	// ppool is the payloadPool that owns it; putFrame returns the buffer
 	// there once the payload has been consumed (copied onto the wire or into
@@ -213,8 +234,17 @@ func encodeFrameHeader(dst []byte, f *frame) {
 	be.PutUint32(dst[8:], f.id)
 	be.PutUint32(dst[12:], f.handle)
 	be.PutUint64(dst[16:], f.offset)
-	be.PutUint32(dst[24:], uint32(len(f.payload)))
+	be.PutUint32(dst[24:], uint32(f.payloadLen()))
 	be.PutUint64(dst[28:], f.aux)
+}
+
+// payloadLen is the total wire payload: payload plus every vec segment.
+func (f *frame) payloadLen() int {
+	n := len(f.payload)
+	for _, v := range f.vec {
+		n += len(v)
+	}
+	return n
 }
 
 // readFrame deserialises one frame from r. The frame comes from framePool;

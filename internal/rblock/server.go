@@ -2,6 +2,7 @@ package rblock
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -464,14 +465,19 @@ func (w *replyWriter) writeBatch(batch []*frame) error {
 	hdrs := w.hdrs[:need]
 	iov := w.iov[:0]
 	for i, f := range batch {
-		if len(f.payload) > maxPayload {
-			return fmt.Errorf("%w: payload %d", ErrBadFrame, len(f.payload))
+		if f.payloadLen() > maxPayload {
+			return fmt.Errorf("%w: payload %d", ErrBadFrame, f.payloadLen())
 		}
 		h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
 		encodeFrameHeader(h, f)
 		iov = append(iov, h)
 		if len(f.payload) > 0 {
 			iov = append(iov, f.payload)
+		}
+		for _, v := range f.vec {
+			if len(v) > 0 {
+				iov = append(iov, v)
+			}
 		}
 	}
 	w.iov = iov // keep the grown capacity for the next batch
@@ -701,6 +707,43 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		}
 		resp.payload = comp
 		resp.aux = uint64(rawLen)
+		return resp
+
+	case OpChunkBatch:
+		if s.chunks == nil {
+			return fail(StatusBadRequest)
+		}
+		n := len(req.payload) / HashLen
+		if n == 0 || n > MaxBatchChunks || len(req.payload) != n*HashLen {
+			return fail(StatusBadRequest)
+		}
+		// Serve the longest prefix of the requested run that the store
+		// holds and that fits one frame: the length-prefix slab goes in
+		// payload, the blob bodies ride the vec so nothing is copied.
+		slab := make([]byte, 0, n*4)
+		served := 0
+		total := 0
+		for i := 0; i < n; i++ {
+			comp, _, err := s.chunks.ChunkBlob([HashLen]byte(req.payload[i*HashLen : (i+1)*HashLen]))
+			if err != nil {
+				break // client re-requests the tail (or falls back)
+			}
+			if total+len(comp)+4*(served+1) > maxPayload {
+				break
+			}
+			var lp [4]byte
+			binary.BigEndian.PutUint32(lp[:], uint32(len(comp)))
+			slab = append(slab, lp[:]...)
+			resp.vec = append(resp.vec, comp)
+			total += len(comp)
+			served++
+		}
+		if served == 0 {
+			resp.vec = nil
+			return fail(StatusNotFound)
+		}
+		resp.payload = slab
+		resp.aux = uint64(served)
 		return resp
 
 	case OpClose:

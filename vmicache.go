@@ -350,16 +350,6 @@ func NewPrefetcher(c *Chain, spans []Span, chunk int64) *Prefetcher {
 	return core.NewPrefetcher(c, spans, chunk)
 }
 
-// DedupStore is a content-addressed chunk store for pooling related cache
-// images (§8 future work).
-type DedupStore = dedup.Store
-
-// DedupRecipe reconstructs an object stored in a DedupStore.
-type DedupRecipe = dedup.Recipe
-
-// NewDedupStore returns a dedup store with the given chunk size.
-func NewDedupStore(chunkSize int64) *DedupStore { return dedup.NewStore(chunkSize) }
-
 // TransferCacheCompressed copies a cache image between stores through a
 // deflate stream, returning (rawBytes, wireBytes).
 func TransferCacheCompressed(dst Store, dstName string, src Store, srcName string) (raw, wire int64, err error) {

@@ -166,17 +166,16 @@ func TestFacadeDedupAndCompressedTransfer(t *testing.T) {
 	if err != nil || wire >= raw {
 		t.Fatalf("compressed transfer: raw=%d wire=%d err=%v", raw, wire, err)
 	}
-	store := NewDedupStore(4096)
-	rec, err := store.Put(f, int64(len(content)))
+	out, err := dst.Open("cache", true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := make([]byte, 100)
-	if _, err := store.ReadAt(rec, got, 50); err != nil {
+	got := make([]byte, len(content))
+	if err := backend.ReadFull(out, got, 0); err != nil {
 		t.Fatal(err)
 	}
-	if string(got) != string(content[50:150]) {
-		t.Fatal("dedup read mismatch")
+	if string(got) != string(content) {
+		t.Fatal("transferred cache mismatch")
 	}
 }
 
