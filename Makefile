@@ -49,13 +49,15 @@ bench:
 # bench-baseline regenerates the committed CI baseline from the data-path
 # microbenchmarks plus the prefetch/prewarm pipeline, sub-cluster cold-boot,
 # and swarm flash-crowd benchmarks. The 'WarmRead' pattern also matches the
-# batched data-path benchmarks (LargeWarmRead, ContendedWarmRead) and
-# 'ServerRead' covers both the 4K round trip and the large vectored
-# transfers. -cpu 4 pins GOMAXPROCS so benchmark names (and the
-# stripped-suffix keys benchjson compares on) are machine-independent;
-# -benchtime 2s keeps run-to-run noise well under the 20% regression gate.
-# After refreshing, commit the new BENCH_pr9.json and keep ci.yml's
-# -baseline flags pointing at it.
+# batched data-path benchmarks (LargeWarmRead, ContendedWarmRead) and the
+# mmap warm-read mode (WarmReadMmap); 'ServerRead' covers the 4K round trip,
+# the large vectored transfers, the sendfile-vs-copy matrix
+# (ServerReadZeroCopy), and the 64-way contended serve (ContendedServerRead).
+# -cpu 4 pins GOMAXPROCS so benchmark names (and the stripped-suffix keys
+# benchjson compares on) are machine-independent; -benchtime 2s keeps
+# run-to-run noise well under the 20% regression gate. After refreshing,
+# commit the new BENCH_pr10.json and keep ci.yml's -baseline flags pointing
+# at it.
 bench-baseline:
 	( $(GO) test -run xxx \
 		-bench 'WarmRead|ColdFill|RoundTrip|PipelinedRead|SequentialColdRead|ServerRead' \
@@ -63,7 +65,7 @@ bench-baseline:
 	  $(GO) test -run xxx \
 		-bench 'ProfileWarm|SubclusterColdBoot|SubclusterWarmRead|SwarmFlashCrowd|DedupManifestBuild|DedupMaterialize|DedupDeltaTransfer' \
 		-benchmem -benchtime 2s -cpu 4 . ) \
-		| $(GO) run ./cmd/benchjson -out BENCH_pr9.json
+		| $(GO) run ./cmd/benchjson -out BENCH_pr10.json
 
 coverage:
 	$(GO) test -coverprofile=coverage.out ./...

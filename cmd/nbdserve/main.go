@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	nbdserve [-addr HOST:PORT] [-C dir] [-ro] [-metrics-addr HOST:PORT]
-//	         [-pprof-mutex-frac N] [-pprof-block-rate NS] IMAGE [IMAGE...]
+//	nbdserve [-addr HOST:PORT] [-C dir] [-ro] [-zerocopy] [-mmap-warm]
+//	         [-metrics-addr HOST:PORT] [-pprof-mutex-frac N]
+//	         [-pprof-block-rate NS] IMAGE [IMAGE...]
 //
 // Each IMAGE (a chain top inside -C) is exported under its own name.
 package main
@@ -22,9 +23,12 @@ import (
 	"vmicache/internal/core"
 	"vmicache/internal/metrics"
 	"vmicache/internal/nbd"
+	"vmicache/internal/zerocopy"
 )
 
-// chainDevice adapts a core.Chain to nbd.Device.
+// chainDevice adapts a core.Chain to nbd.Device. It also forwards extent
+// export so read-only chains over raw warm clusters can serve reads via
+// sendfile when -zerocopy is on.
 type chainDevice struct{ c *core.Chain }
 
 func (d chainDevice) ReadAt(p []byte, off int64) (int, error)  { return d.c.ReadAt(p, off) }
@@ -32,11 +36,17 @@ func (d chainDevice) WriteAt(p []byte, off int64) (int, error) { return d.c.Writ
 func (d chainDevice) Size() int64                              { return d.c.Size() }
 func (d chainDevice) Sync() error                              { return d.c.Sync() }
 
+func (d chainDevice) PlainExtents(off, n int64, dst []zerocopy.FileExtent) ([]zerocopy.FileExtent, bool) {
+	return d.c.PlainExtents(off, n, dst)
+}
+
 func main() {
 	fs := flag.NewFlagSet("nbdserve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:10810", "listen address")
 	dir := fs.String("C", ".", "working directory holding the images")
 	ro := fs.Bool("ro", false, "export read-only")
+	zeroCopy := fs.Bool("zerocopy", true, "serve raw warm reads of read-only exports via sendfile(2) (Linux; other platforms fall back to copying)")
+	mmapWarm := fs.Bool("mmap-warm", false, "mmap image containers so warm reads copy from the mapping instead of issuing preads")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	metricsAddr := fs.String("metrics-addr", "", "observability address (/metrics, /metrics.json, /debug/pprof); empty disables")
 	mutexFrac := fs.Int("pprof-mutex-frac", 0, "mutex contention sampling fraction (runtime.SetMutexProfileFraction); 0 disables")
@@ -57,6 +67,7 @@ func main() {
 	srv := nbd.NewServer(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
+	srv.ZeroCopy = *zeroCopy
 
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
@@ -74,7 +85,7 @@ func main() {
 	var chains []*core.Chain
 	for _, name := range fs.Args() {
 		c, err := core.OpenChain(ns, core.Locator{Store: "dir", Name: name},
-			core.ChainOpts{TopReadOnly: *ro})
+			core.ChainOpts{TopReadOnly: *ro, MmapWarm: *mmapWarm})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nbdserve: opening %s: %v\n", name, err)
 			os.Exit(1)

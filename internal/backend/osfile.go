@@ -59,3 +59,7 @@ func (o *OSFile) Close() error { return o.f.Close() }
 
 // Name reports the underlying path.
 func (o *OSFile) Name() string { return o.f.Name() }
+
+// SysFile exposes the underlying descriptor for zero-copy serving
+// (internal/zerocopy.Filer). Callers must not close or reposition it.
+func (o *OSFile) SysFile() *os.File { return o.f }

@@ -200,6 +200,19 @@ type Config struct {
 	// (0 means core.DefaultWarmBudget).
 	WarmBudget int64
 
+	// ZeroCopy serves peer transfers of published caches with sendfile(2)
+	// straight from the cache file to the socket (published caches are
+	// immutable 0444 files, exactly the contract the fast path needs).
+	// Exports that cannot offer a raw descriptor — swarm chunk views
+	// assemble bytes — keep the copy path per request.
+	ZeroCopy bool
+
+	// MmapWarm maps published caches' containers on attach so warm reads
+	// copy from the mapping instead of issuing a pread each; trades address
+	// space for syscalls on read-heavy boot storms. Writable images and
+	// non-os-backed containers silently keep the pread path.
+	MmapWarm bool
+
 	// Logf, when non-nil, receives lifecycle events.
 	Logf func(format string, args ...any)
 
@@ -764,7 +777,7 @@ func (m *Manager) Boot(base, vmID string) (*Session, error) {
 	// BackingReadOnly: the published cache is immutable — attach without
 	// the §4.3 read-write probe, which its file permissions would reject.
 	chain, err := core.OpenChain(m.ns, core.Locator{Store: scratchName, Name: cowName},
-		core.ChainOpts{BackingReadOnly: true})
+		core.ChainOpts{BackingReadOnly: true, MmapWarm: m.cfg.MmapWarm})
 	if err != nil {
 		m.scratch.Remove(cowName) //nolint:errcheck // unwinding
 		lease.Release()

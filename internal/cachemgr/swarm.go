@@ -2,6 +2,7 @@ package cachemgr
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"vmicache/internal/backend"
@@ -9,6 +10,7 @@ import (
 	"vmicache/internal/qcow"
 	"vmicache/internal/rblock"
 	"vmicache/internal/swarm"
+	"vmicache/internal/zerocopy"
 )
 
 const (
@@ -176,6 +178,16 @@ func (f *semFile) Close() error {
 	err := f.File.Close()
 	f.once.Do(f.release)
 	return err
+}
+
+// SysFile forwards descriptor access through the wrapper (interface
+// embedding does not promote methods the static type lacks), so published
+// caches stay eligible for the rblock sendfile path.
+func (f *semFile) SysFile() *os.File {
+	if s, ok := f.File.(zerocopy.Filer); ok {
+		return s.SysFile()
+	}
+	return nil
 }
 
 // acquirePeerSlot claims a peer-serving slot without blocking; a saturated

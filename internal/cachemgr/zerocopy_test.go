@@ -1,0 +1,114 @@
+package cachemgr_test
+
+// End-to-end zero-copy enablement: a manager configured with ZeroCopy serves
+// wholesale peer pulls of its published caches through the sendfile reply
+// path (published caches are immutable OS files — exactly the fast path's
+// contract), and MmapWarm maps the published cache on boot attach. Both are
+// proven by byte identity plus the respective effectiveness counters.
+
+import (
+	"bytes"
+	"testing"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/cachemgr"
+)
+
+func TestPeerTransferZeroCopy(t *testing.T) {
+	s := newStorageNode(t)
+	const size = 4 * mb
+	s.addBase(t, "base.img", size, 21)
+
+	mgrA := newManager(t, s, func(c *cachemgr.Config) { c.ZeroCopy = true })
+	leaseA, err := mgrA.Acquire("base.img")
+	if err != nil {
+		t.Fatalf("warming node A: %v", err)
+	}
+	leaseA.Release()
+	exportAddr, err := mgrA.ServePeers("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServePeers: %v", err)
+	}
+
+	mgrB := newManager(t, s, func(c *cachemgr.Config) { c.Peers = []string{exportAddr} })
+	leaseB, err := mgrB.Acquire("base.img")
+	if err != nil {
+		t.Fatalf("warming node B: %v", err)
+	}
+	leaseB.Release()
+	if st := mgrB.Stats(); st.PeerFetches != 1 {
+		t.Fatalf("peer fetches = %d, want 1", st.PeerFetches)
+	}
+
+	// The wholesale pull must have ridden the sendfile path without a single
+	// fallback: the only export it opens is the immutable published file.
+	expStats, ok := mgrA.ExportStats()
+	if !ok {
+		t.Fatal("node A not exporting")
+	}
+	if expStats.ZeroCopySegments == 0 || expStats.ZeroCopyBytes == 0 {
+		t.Fatalf("peer pull skipped the zero-copy path: %+v", expStats)
+	}
+	if expStats.ZeroCopyFallbacks != 0 {
+		t.Fatalf("zero-copy fallbacks on a published cache pull: %d", expStats.ZeroCopyFallbacks)
+	}
+
+	// Content through B is byte-identical to the base.
+	sess, err := mgrB.Boot("base.img", "vmB")
+	if err != nil {
+		t.Fatalf("booting on B: %v", err)
+	}
+	defer sess.Close() //nolint:errcheck
+	buf := make([]byte, size)
+	if err := backend.ReadFull(sess.Chain, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, s.patterns["base.img"]) {
+		t.Fatal("node B served wrong content after zero-copy pull")
+	}
+}
+
+func TestBootMmapWarm(t *testing.T) {
+	s := newStorageNode(t)
+	const size = 2 * mb
+	s.addBase(t, "base.img", size, 22)
+
+	m := newManager(t, s, func(c *cachemgr.Config) { c.MmapWarm = true })
+	sess, err := m.Boot("base.img", "vm0")
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	defer sess.Close() //nolint:errcheck
+
+	// The published cache (the read-only backing image of the boot chain)
+	// must be mapped; the writable CoW scratch on top must not be.
+	var mapped, unmapped int
+	for _, img := range sess.Chain.Images {
+		if img.MmapEnabled() {
+			mapped++
+		} else {
+			unmapped++
+		}
+	}
+	if mapped == 0 {
+		t.Fatal("no image in the boot chain took the mmap warm-read mode")
+	}
+	if sess.Chain.Top().MmapEnabled() {
+		t.Fatal("writable CoW scratch must not be mapped")
+	}
+
+	buf := make([]byte, size)
+	if err := backend.ReadFull(sess.Chain, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, s.patterns["base.img"]) {
+		t.Fatal("mmap-warm boot served wrong content")
+	}
+	var mmapReads int64
+	for _, img := range sess.Chain.Images {
+		mmapReads += img.Stats().MmapReads.Load()
+	}
+	if mmapReads == 0 {
+		t.Fatal("warm reads never hit the mapping")
+	}
+}

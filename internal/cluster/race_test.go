@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled mirrors the race detector's presence so timing-sensitive
+// tests can scale liveness backstops (not correctness bounds) to the
+// instrumentation slowdown.
+const raceEnabled = true

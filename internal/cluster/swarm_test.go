@@ -16,12 +16,23 @@ func TestSwarmFlashCrowdBound(t *testing.T) {
 		sizes = []int{8}
 	}
 	for _, n := range sizes {
-		r, err := RunSwarm(SwarmParams{
+		p := SwarmParams{
 			Nodes:     n,
 			ImageSize: 4 << 20,
 			Seed:      expSeed,
 			Verify:    true,
-		})
+		}
+		if raceEnabled {
+			// The race detector slows the in-process crowd several-fold on
+			// a small machine, so the wall-clock liveness backstops fire
+			// while the swarm is merely slow — every premature storage
+			// fallback then inflates the ratio this test bounds. Scale the
+			// backstops (liveness knobs, not the 1.5x bound) to match the
+			// instrumented execution speed.
+			p.PrimaryHold = 3 * (250*time.Millisecond + time.Duration(n)*15*time.Millisecond)
+			p.FallbackAfter = 3 * (5*time.Second + time.Duration(n)*150*time.Millisecond)
+		}
+		r, err := RunSwarm(p)
 		if err != nil {
 			t.Fatalf("flash crowd N=%d: %v", n, err)
 		}

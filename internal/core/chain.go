@@ -12,6 +12,7 @@ import (
 
 	"vmicache/internal/backend"
 	"vmicache/internal/qcow"
+	"vmicache/internal/zerocopy"
 )
 
 // ErrChainCycle is returned when backing-file names form a loop.
@@ -90,6 +91,13 @@ type ChainOpts struct {
 	// permissions forbid writing.
 	BackingReadOnly bool
 
+	// MmapWarm enables the qcow mmap warm-read mode on every read-only
+	// image of the opened chain: warm raw reads copy from a mapping of the
+	// container instead of issuing a pread per request. Images that cannot
+	// map (writable caches, non-os-backed containers, platforms without
+	// mmap) silently keep the pread path.
+	MmapWarm bool
+
 	// WrapFile, when non-nil, wraps each opened container before the
 	// image is parsed. The cluster simulator uses this to attach traffic
 	// accounting and simulated-time costs per medium.
@@ -119,6 +127,23 @@ func (c *Chain) CacheImage() *qcow.Image {
 
 // ReadAt reads guest data through the top of the chain.
 func (c *Chain) ReadAt(p []byte, off int64) (int, error) { return c.Top().ReadAt(p, off) }
+
+// PlainExtents implements zerocopy.ExtentSource by forwarding to the top
+// image: a range is exportable only when the top image itself holds it as
+// fully-valid raw clusters (a read-only published cache serving warm data).
+// Ranges the top defers to its backing — where bytes would be assembled
+// recursively — refuse, sending the caller down the copy path.
+func (c *Chain) PlainExtents(off, n int64, dst []zerocopy.FileExtent) ([]zerocopy.FileExtent, bool) {
+	return c.Top().PlainExtents(off, n, dst)
+}
+
+// applyMmapWarm enables mmap warm reads on every image that can take it;
+// best-effort by design (see ChainOpts.MmapWarm).
+func (c *Chain) applyMmapWarm() {
+	for _, img := range c.Images {
+		img.EnableMmap() //nolint:errcheck // ineligible images keep pread
+	}
+}
 
 // WriteAt writes guest data to the top of the chain.
 func (c *Chain) WriteAt(p []byte, off int64) (int, error) { return c.Top().WriteAt(p, off) }
@@ -204,6 +229,9 @@ func OpenChain(ns *Namespace, loc Locator, opts ChainOpts) (*Chain, error) {
 			}
 			c.Images[len(c.Images)-1].SetBacking(qcow.RawSource{R: f, N: sz})
 			c.rawTail = f
+			if opts.MmapWarm {
+				c.applyMmapWarm()
+			}
 			return c, nil
 		}
 		if err != nil {
@@ -241,6 +269,9 @@ func OpenChain(ns *Namespace, loc Locator, opts ChainOpts) (*Chain, error) {
 
 		bn := img.BackingName()
 		if bn == "" {
+			if opts.MmapWarm {
+				c.applyMmapWarm()
+			}
 			return c, nil
 		}
 		next := ParseLocator(bn)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"vmicache/internal/metrics"
+	"vmicache/internal/zerocopy"
 )
 
 // Protocol magics and constants (https://github.com/NetworkBlockDevice/nbd
@@ -94,12 +95,26 @@ type Server struct {
 	// maxPooledBuf fall back to plain allocation.
 	bufPool sync.Pool
 
+	// ZeroCopy serves reads of read-only exports whose Device implements
+	// zerocopy.ExtentSource (a published qcow chain over an os-backed
+	// container) by sendfile(2) from the container file instead of a
+	// read-into-buffer copy. Reads the extent export refuses — compressed
+	// clusters, partially-valid sub-clusters, unallocated runs — fall back
+	// to the copy path per request. Set before Listen.
+	ZeroCopy bool
+
 	// Stats
 	ReadOps      atomic.Int64
 	WriteOps     atomic.Int64
 	FlushOps     atomic.Int64
 	BytesRead    atomic.Int64
 	BytesWritten atomic.Int64
+
+	// Zero-copy serve effectiveness: bytes and sendfile segments shipped by
+	// the extent path, and reads that wanted it but used the copy path.
+	ZeroCopyBytes     atomic.Int64
+	ZeroCopySegments  atomic.Int64
+	ZeroCopyFallbacks atomic.Int64
 
 	// latency records per-request dispatch-to-reply durations (ns).
 	latency metrics.AtomicHistogram
@@ -121,6 +136,12 @@ func (s *Server) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
 		"Device requests currently dispatched.", labels, s.activeReqs.Load)
 	r.RegisterHistogram("vmicache_nbd_request_ns",
 		"NBD request duration, dispatch through reply.", labels, &s.latency)
+	r.CounterFunc("vmicache_nbd_zerocopy_bytes_total",
+		"Read bytes served via the sendfile extent path.", labels, s.ZeroCopyBytes.Load)
+	r.CounterFunc("vmicache_nbd_zerocopy_segments_total",
+		"Sendfile segments shipped by the extent path.", labels, s.ZeroCopySegments.Load)
+	r.CounterFunc("vmicache_nbd_zerocopy_fallbacks_total",
+		"Reads that wanted zero-copy but used the copy path.", labels, s.ZeroCopyFallbacks.Load)
 }
 
 // maxConcurrentPerConn bounds how many in-flight requests one connection may
@@ -152,6 +173,41 @@ func (s *Server) putBuf(bp *[]byte) {
 	if cap(*bp) <= maxPooledBuf {
 		s.bufPool.Put(bp)
 	}
+}
+
+// replyScratch is the per-connection reply assembly state, guarded by the
+// connection's write mutex while in use. arr holds the stable header+payload
+// iovec; wip is the consumable copy WriteTo advances, a field so no slice
+// header escapes per reply.
+type replyScratch struct {
+	hdr [16]byte
+	arr [2][]byte
+	wip net.Buffers
+}
+
+// scratchPool recycles replyScratch across connections.
+var scratchPool = sync.Pool{New: func() any { return new(replyScratch) }}
+
+func getReplyScratch() *replyScratch { return scratchPool.Get().(*replyScratch) }
+
+func putReplyScratch(rs *replyScratch) {
+	// Drop payload references so the pool does not pin reply buffers.
+	rs.arr[0], rs.arr[1] = nil, nil
+	rs.wip = nil
+	scratchPool.Put(rs)
+}
+
+// extsPool recycles extent slices for zero-copy read translation (one live
+// slice per in-flight zero-copy read).
+var extsPool = sync.Pool{New: func() any { return new([]zerocopy.FileExtent) }}
+
+func getExtents() *[]zerocopy.FileExtent { return extsPool.Get().(*[]zerocopy.FileExtent) }
+
+func putExtents(ep *[]zerocopy.FileExtent) {
+	for i := range *ep {
+		(*ep)[i] = zerocopy.FileExtent{} // do not pin descriptors in the pool
+	}
+	extsPool.Put(ep)
 }
 
 // NewServer returns an empty server.
@@ -413,14 +469,20 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 	defer wg.Wait()
 	sem := make(chan struct{}, maxConcurrentPerConn)
 
-	// Per-connection reply scratch, guarded by wmu. arr holds the stable
-	// header+payload iovec; wip is the consumable copy WriteTo advances, a
-	// field so no slice header escapes per reply.
-	rs := &struct {
-		hdr [16]byte
-		arr [2][]byte
-		wip net.Buffers
-	}{}
+	// Per-connection reply scratch, guarded by wmu and recycled across
+	// connections (the same lifetime discipline as rblock's replyWriter
+	// buffers): a churn of short-lived guest attaches allocates no reply
+	// scratch in steady state.
+	rs := getReplyScratch()
+	defer putReplyScratch(rs)
+
+	// zcSrc is non-nil when reads may try the sendfile extent path: the
+	// export must be immutable (frozen cluster mappings are what make the
+	// exported offsets stable) and its device must offer extent export.
+	var zcSrc zerocopy.ExtentSource
+	if s.ZeroCopy && exp.ReadOnly {
+		zcSrc, _ = exp.Device.(zerocopy.ExtentSource)
+	}
 
 	// reply writes one response frame (with optional payload) atomically;
 	// on error it tears the connection down to unblock the request reader.
@@ -440,6 +502,29 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 		wmu.Unlock()
 		if err != nil {
 			s.logf("nbd: reply write: %v", err)
+			conn.Close() //nolint:errcheck
+		}
+	}
+
+	// replyExtents writes a successful read reply whose payload is pushed by
+	// sendfile from the exported container extents — no user-space copy. The
+	// whole sequence holds wmu: NBD simple replies are not resumable, so a
+	// mid-payload failure can only end in connection teardown anyway.
+	replyExtents := func(handle uint64, exts []zerocopy.FileExtent) {
+		wmu.Lock()
+		be.PutUint32(rs.hdr[0:], simpleReplyMagic)
+		be.PutUint32(rs.hdr[4:], 0)
+		be.PutUint64(rs.hdr[8:], handle)
+		_, err := conn.Write(rs.hdr[:])
+		for _, e := range exts {
+			if err != nil {
+				break
+			}
+			_, err = zerocopy.Send(conn, e.F, e.Off, e.Len)
+		}
+		wmu.Unlock()
+		if err != nil {
+			s.logf("nbd: zero-copy reply: %v", err)
 			conn.Close() //nolint:errcheck
 		}
 	}
@@ -478,10 +563,28 @@ func (s *Server) transmission(conn net.Conn, exp Export, _ bool) error {
 		switch cmd {
 		case cmdRead:
 			dispatch(func() {
+				inRange := int64(offset)+int64(length) <= exp.Device.Size()
+				if zcSrc != nil && inRange && length > 0 {
+					ep := getExtents()
+					exts, ok := zcSrc.PlainExtents(int64(offset), int64(length), (*ep)[:0])
+					if ok {
+						s.ReadOps.Add(1)
+						s.BytesRead.Add(int64(length))
+						s.ZeroCopyBytes.Add(int64(length))
+						s.ZeroCopySegments.Add(int64(len(exts)))
+						replyExtents(handle, exts)
+						*ep = exts
+						putExtents(ep)
+						return
+					}
+					*ep = exts
+					putExtents(ep)
+					s.ZeroCopyFallbacks.Add(1)
+				}
 				bp := s.getBuf(length)
 				buf := *bp
 				var nbdErr uint32
-				if int64(offset)+int64(length) > exp.Device.Size() {
+				if !inRange {
 					nbdErr = nbdEINVAL
 				} else if _, err := exp.Device.ReadAt(buf, int64(offset)); err != nil {
 					nbdErr = nbdEIO

@@ -8,6 +8,7 @@ package qcow_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -226,6 +227,78 @@ func BenchmarkContendedWarmRead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWarmReadMmap compares warm raw reads on a published (read-only,
+// os-backed) image served by pread against the flag-gated mmap warm-read
+// mode: a copy from the shared mapping instead of a syscall per extent.
+func BenchmarkWarmReadMmap(b *testing.B) {
+	const (
+		size = 64 << 20
+		span = 24 << 10
+	)
+	open := func(b *testing.B, mmap bool) *qcow.Image {
+		b.Helper()
+		path := filepath.Join(b.TempDir(), "img.qcow")
+		f, err := backend.CreateOSFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img, err := qcow.Create(f, qcow.CreateOpts{Size: size, ClusterBits: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunk := make([]byte, 1<<20)
+		for i := range chunk {
+			chunk[i] = byte(i * 31)
+		}
+		for off := int64(0); off < size; off += int64(len(chunk)) {
+			if err := backend.WriteFull(img, chunk, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := img.Sync(); err != nil { // keep writeback out of the timed window
+			b.Fatal(err)
+		}
+		if err := img.Close(); err != nil {
+			b.Fatal(err)
+		}
+		ro, err := backend.OpenOSFile(path, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ri, err := qcow.Open(ro, qcow.OpenOpts{ReadOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { ri.Close() }) //nolint:errcheck // bench teardown
+		ri.RegisterMetrics(metrics.NewRegistry(), metrics.Labels{"image": "pub"})
+		if mmap {
+			if err := ri.EnableMmap(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return ri
+	}
+	run := func(b *testing.B, mmap bool) {
+		img := open(b, mmap)
+		buf := make([]byte, span)
+		b.SetBytes(span)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (int64(i) * span) % (32 << 20)
+			if _, err := img.ReadAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if mmap && img.Stats().MmapReads.Load() == 0 {
+			b.Fatal("mmap mode never served from the mapping")
+		}
+	}
+	b.Run("pread", func(b *testing.B) { run(b, false) })
+	b.Run("mmap", func(b *testing.B) { run(b, true) })
 }
 
 // latencySource models a remote base: every backing read costs one fixed

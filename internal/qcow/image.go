@@ -81,6 +81,16 @@ type Stats struct {
 	SubclusterCompletions atomic.Int64
 	SubclusterPartialHits atomic.Int64
 	SubclusterDropped     atomic.Int64
+
+	// Zero-copy serve effectiveness (zerocopy.go). ZeroCopyExports and
+	// ZeroCopyExportBytes count reads translated into container-file
+	// extents by PlainExtents (bytes the serve path ships without a
+	// user-space copy); MmapReads/MmapReadBytes count warm raw reads
+	// served by copy-from-mapping instead of pread.
+	ZeroCopyExports     atomic.Int64
+	ZeroCopyExportBytes atomic.Int64
+	MmapReads           atomic.Int64
+	MmapReadBytes       atomic.Int64
 }
 
 // CreateOpts parameterises image creation, mirroring qemu-img's knobs plus
@@ -188,6 +198,11 @@ type Image struct {
 	// cp is the attached background completer (complete.go), nil when
 	// completion is off; same CAS lifecycle as pf.
 	cp atomic.Pointer[Completer]
+
+	// mm is the read-only container mapping installed by EnableMmap
+	// (zerocopy.go), nil when the pread path serves warm reads. Released
+	// by Close after the reader drain.
+	mm atomic.Pointer[mmapRegion]
 
 	stats Stats
 }
@@ -543,6 +558,7 @@ func (img *Image) Close() error {
 		cp.Close()
 	}
 	img.readers.Wait()
+	img.closeMmap()
 	if !img.ro {
 		if err := img.syncCacheUsed(); err != nil {
 			img.f.Close() //nolint:errcheck // best-effort release on error path

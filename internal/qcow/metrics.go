@@ -78,6 +78,16 @@ func (img *Image) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
 		"Guest reads served from a partially-valid cluster.", labels, s.SubclusterPartialHits.Load)
 	r.CounterFunc("vmicache_qcow_subcluster_dropped_total",
 		"Completion requests refused by the queue or byte budget.", labels, s.SubclusterDropped.Load)
+	r.CounterFunc("vmicache_qcow_zerocopy_exports_total",
+		"Reads translated into container-file extents for zero-copy serving.",
+		labels, s.ZeroCopyExports.Load)
+	r.CounterFunc("vmicache_qcow_zerocopy_export_bytes_total",
+		"Bytes exported as extents (served without a user-space copy).",
+		labels, s.ZeroCopyExportBytes.Load)
+	r.CounterFunc("vmicache_qcow_mmap_reads_total",
+		"Warm raw reads served from the mmap warm-read mapping.", labels, s.MmapReads.Load)
+	r.CounterFunc("vmicache_qcow_mmap_read_bytes_total",
+		"Bytes copied out of the mmap warm-read mapping.", labels, s.MmapReadBytes.Load)
 	r.GaugeFunc("vmicache_qcow_completion_inflight_bytes",
 		"Bytes of background completion currently queued or in flight.", labels,
 		func() int64 {

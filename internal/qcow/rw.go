@@ -78,8 +78,12 @@ func (img *Image) readExtents(p []byte, off int64, extp *[]mappedExtent) (int, e
 			case extRaw:
 				// Bound clusters are never moved or freed, so this read
 				// needs no lock: the container serialises its own I/O.
-				if err := backend.ReadFull(img.f, seg, e.dataOff); err != nil {
-					return done, err
+				// With the warm-read mapping installed (EnableMmap) the
+				// bytes come from the mapping instead of a pread syscall.
+				if !img.mmapRead(seg, e.dataOff) {
+					if err := backend.ReadFull(img.f, seg, e.dataOff); err != nil {
+						return done, err
+					}
 				}
 				if img.isCache {
 					img.stats.LocalBytes.Add(e.length)

@@ -1,0 +1,342 @@
+package qcow
+
+// Tests for the zero-copy serve support (zerocopy.go): the PlainExtents
+// export contract (byte-identity against the copy path, plus the full
+// fallback matrix — writable image, memory-backed container, compressed
+// cluster, partially-valid sub-cluster, unallocated run, out-of-range), and
+// the mmap warm-read mode (byte-identity, gating errors, Close race).
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vmicache/internal/backend"
+	"vmicache/internal/zerocopy"
+)
+
+// newOSImage creates a standalone image in a temp directory, fills it with a
+// deterministic pattern via plain guest writes, and reopens it read-only on
+// an os-backed container — the publication shape the zero-copy path serves.
+func newOSImage(t *testing.T, size int64, clusterBits int, seed int64) (*Image, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "img.qcow")
+	f, err := backend.CreateOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Create(f, CreateOpts{Size: size, ClusterBits: clusterBits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(pat)
+	if err := backend.WriteFull(img, pat, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := backend.OpenOSFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Open(ro, OpenOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ri.Close() }) //nolint:errcheck // test teardown
+	return ri, pat
+}
+
+// readExtents materialises exported extents with plain preads — the exact
+// I/O a sendfile would issue — so tests can compare against the copy path.
+func readExtents(t *testing.T, exts []zerocopy.FileExtent) []byte {
+	t.Helper()
+	var out []byte
+	for _, e := range exts {
+		buf := make([]byte, e.Len)
+		if _, err := e.F.ReadAt(buf, e.Off); err != nil {
+			t.Fatalf("extent pread: %v", err)
+		}
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// TestPlainExtentsByteIdentity proves the extent export describes exactly
+// the bytes the copy path returns, across aligned, misaligned, and
+// EOF-adjacent ranges, and that sequential fills coalesce physically.
+func TestPlainExtentsByteIdentity(t *testing.T) {
+	const size = 2 * testMB
+	img, pat := newOSImage(t, size, 12, 61) // 4 KiB clusters: many extents
+	cases := []struct{ off, n int64 }{
+		{0, 4096},
+		{777, 100001},
+		{size - 9000, 9000},
+		{0, size},
+	}
+	for _, tc := range cases {
+		exts, ok := img.PlainExtents(tc.off, tc.n, nil)
+		if !ok {
+			t.Fatalf("PlainExtents(%d, %d): not exportable", tc.off, tc.n)
+		}
+		var total int64
+		for _, e := range exts {
+			total += e.Len
+		}
+		if total != tc.n {
+			t.Fatalf("PlainExtents(%d, %d): extents cover %d bytes", tc.off, tc.n, total)
+		}
+		if got := readExtents(t, exts); !bytes.Equal(got, pat[tc.off:tc.off+tc.n]) {
+			t.Fatalf("PlainExtents(%d, %d): extent bytes differ from copy path", tc.off, tc.n)
+		}
+	}
+	// Sequential fill allocates physically in order, so the whole disk
+	// should coalesce into one run — the sendfile best case.
+	exts, ok := img.PlainExtents(0, size, nil)
+	if !ok || len(exts) != 1 {
+		t.Fatalf("full-image export: ok=%v extents=%d, want 1 coalesced run", ok, len(exts))
+	}
+	if img.Stats().ZeroCopyExports.Load() == 0 {
+		t.Fatal("zero-copy export counter not advanced")
+	}
+	// dst reuse: appended extents must not clobber what the caller had.
+	pre := []zerocopy.FileExtent{{Off: 1, Len: 2}}
+	exts, ok = img.PlainExtents(0, 4096, pre)
+	if !ok || len(exts) < 2 || exts[0].Off != 1 || exts[0].Len != 2 {
+		t.Fatalf("dst prefix clobbered: %+v ok=%v", exts, ok)
+	}
+}
+
+// TestPlainExtentsFallbackMatrix drives every condition that must refuse the
+// export and push the caller to the copy path.
+func TestPlainExtentsFallbackMatrix(t *testing.T) {
+	const size = 8 * 64 << 10
+
+	t.Run("writable image", func(t *testing.T) {
+		img, _ := newTestImage(t, size, 16)
+		defer img.Close()
+		if _, ok := img.PlainExtents(0, 4096, nil); ok {
+			t.Fatal("writable image exported extents")
+		}
+	})
+
+	t.Run("memory-backed container", func(t *testing.T) {
+		img, _ := newTestImage(t, size, 16)
+		buf := make([]byte, size)
+		if err := backend.WriteFull(img, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		snap := snapshot(t, img.f)
+		img.Close() //nolint:errcheck
+		ro, err := Open(snap, OpenOpts{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ro.Close()
+		if _, ok := ro.PlainExtents(0, 4096, nil); ok {
+			t.Fatal("MemFile-backed image exported extents")
+		}
+	})
+
+	t.Run("compressed and unallocated runs", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "img.qcow")
+		f, err := backend.CreateOSFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := Create(f, CreateOpts{Size: size, ClusterBits: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := img.ClusterSize()
+		rnd := rand.New(rand.NewSource(67))
+		d := make([]byte, cs)
+		// Clusters 0,1 raw; cluster 2 compressed; cluster 3 raw; 4.. unallocated.
+		for _, vc := range []int64{0, 1, 3} {
+			rnd.Read(d)
+			if err := backend.WriteFull(img, d, vc*cs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Must be compressible: incompressible blobs are stored raw, which
+		// would defeat the fallback this subtest exists to exercise.
+		for i := range d {
+			d[i] = byte(i / 64)
+		}
+		if err := img.WriteCompressedCluster(2, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rof, err := backend.OpenOSFile(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := Open(rof, OpenOpts{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ro.Close()
+
+		if exts, ok := ro.PlainExtents(0, 2*cs, nil); !ok || len(exts) == 0 {
+			t.Fatal("pure raw range refused")
+		}
+		if _, ok := ro.PlainExtents(0, 3*cs, nil); ok {
+			t.Fatal("range containing a compressed cluster exported")
+		}
+		if _, ok := ro.PlainExtents(2*cs, 100, nil); ok {
+			t.Fatal("compressed cluster exported")
+		}
+		if _, ok := ro.PlainExtents(4*cs, cs, nil); ok {
+			t.Fatal("unallocated (zero-reading) cluster exported")
+		}
+		if _, ok := ro.PlainExtents(3*cs, 2*cs, nil); ok {
+			t.Fatal("raw+unallocated straddle exported")
+		}
+		// Range checks.
+		if _, ok := ro.PlainExtents(-1, cs, nil); ok {
+			t.Fatal("negative offset exported")
+		}
+		if _, ok := ro.PlainExtents(0, 0, nil); ok {
+			t.Fatal("empty range exported")
+		}
+		if _, ok := ro.PlainExtents(size-10, 20, nil); ok {
+			t.Fatal("past-EOF range exported")
+		}
+	})
+
+	t.Run("partial subcluster", func(t *testing.T) {
+		base, _ := newPatternedBase(t, size, 73)
+		path := filepath.Join(t.TempDir(), "sub.qcow")
+		f, err := backend.CreateOSFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := newSubCache(t, f, size, 8*size, RawSource{R: base, N: size})
+		cs := img.ClusterSize()
+		// Cluster 1: partial 4 KiB fill. Cluster 2: full fill.
+		small := make([]byte, 4096)
+		if err := backend.ReadFull(img, small, cs); err != nil {
+			t.Fatal(err)
+		}
+		full := make([]byte, cs)
+		if err := backend.ReadFull(img, full, 2*cs); err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rof, err := backend.OpenOSFile(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := Open(rof, OpenOpts{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ro.Close()
+		if _, ok := ro.PlainExtents(cs, 4096, nil); ok {
+			t.Fatal("partially-valid sub-cluster exported")
+		}
+		if exts, ok := ro.PlainExtents(2*cs, cs, nil); !ok || len(exts) != 1 {
+			t.Fatalf("fully-valid cluster refused: ok=%v exts=%d", ok, len(exts))
+		}
+	})
+}
+
+// TestMmapWarmRead proves byte-identity of the mapping-served read path and
+// that the mode actually engages (counter advances).
+func TestMmapWarmRead(t *testing.T) {
+	const size = testMB
+	img, pat := newOSImage(t, size, 12, 79)
+	if img.MmapEnabled() {
+		t.Fatal("mmap enabled before EnableMmap")
+	}
+	if err := img.EnableMmap(); err != nil {
+		t.Fatalf("EnableMmap: %v", err)
+	}
+	if !img.MmapEnabled() {
+		t.Fatal("MmapEnabled false after EnableMmap")
+	}
+	got := make([]byte, size)
+	if err := backend.ReadFull(img, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pat) {
+		t.Fatal("mmap-served read differs from pattern")
+	}
+	for _, tc := range []struct{ off, n int64 }{{513, 100000}, {size - 10, 10}} {
+		b := make([]byte, tc.n)
+		if err := backend.ReadFull(img, b, tc.off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, pat[tc.off:tc.off+tc.n]) {
+			t.Fatalf("mmap read (%d, %d) mismatch", tc.off, tc.n)
+		}
+	}
+	if img.Stats().MmapReads.Load() == 0 {
+		t.Fatal("reads did not go through the mapping")
+	}
+	// Second enable must refuse.
+	if err := img.EnableMmap(); err != ErrMmapEnabled {
+		t.Fatalf("second EnableMmap: %v", err)
+	}
+}
+
+// TestMmapGates checks the enable-time refusals: writable images and
+// non-os-backed containers keep the pread path.
+func TestMmapGates(t *testing.T) {
+	img, _ := newTestImage(t, testMB, 16)
+	defer img.Close()
+	if err := img.EnableMmap(); err != ErrMmapWritable {
+		t.Fatalf("writable EnableMmap: %v", err)
+	}
+	snap := snapshot(t, img.f)
+	ro, err := Open(snap, OpenOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if err := ro.EnableMmap(); err != zerocopy.ErrUnsupported {
+		t.Fatalf("MemFile EnableMmap: %v", err)
+	}
+}
+
+// TestMmapCloseRace runs readers against the mapping while Close tears it
+// down; under -race this pins the reader-drain ordering (Close unmaps only
+// after readers.Wait, so no read copies from a dead mapping).
+func TestMmapCloseRace(t *testing.T) {
+	const size = testMB
+	img, pat := newOSImage(t, size, 12, 83)
+	if err := img.EnableMmap(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 32<<10)
+			<-start
+			for i := 0; i < 200; i++ {
+				off := rnd.Int63n(size - int64(len(buf)))
+				if err := backend.ReadFull(img, buf, off); err != nil {
+					return // ErrClosed once Close lands: expected
+				}
+				if !bytes.Equal(buf, pat[off:off+int64(len(buf))]) {
+					panic("mmap race: data mismatch")
+				}
+			}
+		}(int64(r))
+	}
+	close(start)
+	img.Close() //nolint:errcheck // racing with readers by design
+	wg.Wait()
+}

@@ -41,7 +41,7 @@ type Client struct {
 
 	// mu guards the demux state below.
 	mu      sync.Mutex
-	pending map[uint32]chan *frame
+	pending map[uint32]pendingReq
 	nextID  uint32
 	closed  bool
 	broken  error // first fatal error; non-nil once the stream is unusable
@@ -53,6 +53,10 @@ type Client struct {
 	// pipe (SetMaxInflight).
 	maxInflight atomic.Int32
 
+	// bumpedRcvbuf records that the receive buffer was enlarged for jumbo
+	// zero-copy replies (done once, on the first jumbo-advertised open).
+	bumpedRcvbuf atomic.Bool
+
 	// payloads recycles response payload buffers (rwsize each); chanPool
 	// recycles roundTrip reply channels and segPool the per-call segment
 	// slices of large ReadAt/WriteAt, so a pipelined stream allocates
@@ -62,6 +66,14 @@ type Client struct {
 	segPool  sync.Pool
 
 	ctr clientCounters
+}
+
+// pendingReq is one awaited response: the waiter's channel plus, for reads,
+// the caller's destination buffer — the read loop lands the payload there
+// directly, so large reads cost no intermediate buffer or copy.
+type pendingReq struct {
+	ch  chan *frame
+	dst []byte
 }
 
 // getChan returns a reply channel for one round trip. Channels are recycled
@@ -153,7 +165,7 @@ func Dial(addr string, rwsize int) (*Client, error) {
 		conn:     conn,
 		bw:       bufio.NewWriterSize(conn, 128<<10),
 		rwsize:   rwsize,
-		pending:  make(map[uint32]chan *frame),
+		pending:  make(map[uint32]pendingReq),
 		timeout:  DefaultTimeout,
 		payloads: newPayloadPool(rwsize),
 	}
@@ -194,30 +206,43 @@ func (c *Client) fail(err error) {
 		}
 	}
 	waiters := c.pending
-	c.pending = make(map[uint32]chan *frame)
+	c.pending = make(map[uint32]pendingReq)
 	c.mu.Unlock()
 	c.conn.Close() //nolint:errcheck // already failing; nothing to report
-	for _, ch := range waiters {
-		close(ch)
+	for _, pr := range waiters {
+		close(pr.ch)
 	}
 }
 
 // readLoop demultiplexes responses to their waiting requests until the
 // connection dies. The read deadline is armed whenever requests are pending
 // (see roundTrip) and cleared when the pipeline drains, so an idle
-// connection never times out.
+// connection never times out. The header is parsed before the payload is
+// read so payloads of successful reads land directly in the waiting caller's
+// destination buffer (pendingReq.dst) — jumbo zero-copy segments then cross
+// the client without an intermediate buffer or copy.
 func (c *Client) readLoop(br *bufio.Reader) {
 	hdr := make([]byte, frameHeaderLen)
+	be := binary.BigEndian
 	for {
-		resp, err := readFrame(br, c.payloads, hdr)
-		if err != nil {
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			c.fail(err)
 			return
 		}
+		if be.Uint32(hdr[0:]) != Magic {
+			c.fail(ErrBadFrame)
+			return
+		}
+		n := be.Uint32(hdr[24:])
+		if n > maxPayload {
+			c.fail(ErrBadFrame)
+			return
+		}
+		id := be.Uint32(hdr[8:])
 		c.mu.Lock()
-		ch, ok := c.pending[resp.id]
+		pr, ok := c.pending[id]
 		if ok {
-			delete(c.pending, resp.id)
+			delete(c.pending, id)
 		}
 		if len(c.pending) == 0 {
 			c.conn.SetReadDeadline(time.Time{}) //nolint:errcheck
@@ -227,10 +252,34 @@ func (c *Client) readLoop(br *bufio.Reader) {
 		c.mu.Unlock()
 		if !ok {
 			// A response nobody asked for: the stream is desynchronised.
-			c.fail(fmt.Errorf("%w: unsolicited response id %d", ErrBadFrame, resp.id))
+			c.fail(fmt.Errorf("%w: unsolicited response id %d", ErrBadFrame, id))
 			return
 		}
-		ch <- resp
+		resp := getFrame()
+		resp.op = Op(hdr[4])
+		resp.flags = hdr[5]
+		resp.status = uint32(be.Uint16(hdr[6:]))
+		resp.id = id
+		resp.handle = be.Uint32(hdr[12:])
+		resp.offset = be.Uint64(hdr[16:])
+		resp.aux = be.Uint64(hdr[28:])
+		if n > 0 {
+			if pr.dst != nil && resp.status == 0 && int(n) <= len(pr.dst) {
+				// In-place delivery; the waiter owns dst until it
+				// receives resp, so this write cannot race it.
+				resp.payload = pr.dst[:n]
+			} else {
+				resp.pooled = c.payloads.get(int(n))
+				resp.ppool = c.payloads
+				resp.payload = (*resp.pooled)[:n]
+			}
+			if _, err := io.ReadFull(br, resp.payload); err != nil {
+				putFrame(resp)
+				c.fail(err)
+				return
+			}
+		}
+		pr.ch <- resp
 	}
 }
 
@@ -248,8 +297,10 @@ func (c *Client) brokenErr() error {
 // pipeline: their requests share the connection and complete independently.
 // roundTrip takes ownership of req (recycled once serialised); on success
 // the caller owns the returned response and must recycle it with putFrame
-// after consuming its payload.
-func (c *Client) roundTrip(req *frame) (*frame, error) {
+// after consuming its payload. dst, when non-nil, receives a successful
+// response's payload in place (the response then aliases it); the caller
+// must own dst until the response arrives.
+func (c *Client) roundTrip(req *frame, dst []byte) (*frame, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -269,7 +320,7 @@ func (c *Client) roundTrip(req *frame) (*frame, error) {
 	defer c.ctr.inflight.Add(-1)
 	c.nextID++
 	req.id = c.nextID
-	c.pending[req.id] = ch
+	c.pending[req.id] = pendingReq{ch: ch, dst: dst}
 	if c.timeout > 0 {
 		// Arm (or extend) the read deadline: progress is expected while
 		// anything is in flight.
@@ -333,7 +384,7 @@ func (c *Client) FetchMap(name string) ([]byte, error) {
 	}
 	req := getFrame()
 	req.op, req.payload = OpMap, []byte(name)
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +405,7 @@ func (c *Client) FetchManifest(name string) ([]byte, error) {
 	}
 	req := getFrame()
 	req.op, req.payload = OpManifest, []byte(name)
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +423,7 @@ func (c *Client) FetchManifest(name string) ([]byte, error) {
 func (c *Client) FetchChunk(hash [HashLen]byte) (comp []byte, rawLen int64, err error) {
 	req := getFrame()
 	req.op, req.payload = OpChunk, hash[:]
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(req, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -401,7 +452,7 @@ func (c *Client) FetchChunkBatch(hashes [][HashLen]byte) ([][]byte, error) {
 		pay = append(pay, hashes[i][:]...)
 	}
 	req.payload = pay
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -440,6 +491,12 @@ type RemoteFile struct {
 	ro     bool
 	closed bool
 	mu     sync.Mutex
+
+	// readSeg, when positive, overrides the connection rwsize for read
+	// segmentation: the server advertised jumbo segments at open because it
+	// serves this handle zero-copy (no per-request buffer on its side).
+	// Writes always stay rwsize-bounded.
+	readSeg int
 }
 
 // Open opens a remote file by its export name.
@@ -450,11 +507,30 @@ func (c *Client) Open(name string, readOnly bool) (*RemoteFile, error) {
 	}
 	req := getFrame()
 	req.op, req.flags, req.payload = OpOpen, flags, []byte(name)
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(req, nil)
 	if err != nil {
 		return nil, err
 	}
 	rf := &RemoteFile{c: c, handle: resp.handle, size: int64(resp.aux), ro: readOnly}
+	if seg := int(resp.offset); seg > c.rwsize {
+		if seg > MaxZeroCopySegment {
+			seg = MaxZeroCopySegment // distrust the advertisement
+		}
+		rf.readSeg = seg
+		// A jumbo advertisement means bulk zero-copy pulls are coming:
+		// give the kernel room for several segments so the server's
+		// sendfile completes without blocking and the next segments
+		// stream while the caller drains this one (one segment of
+		// buffer measured ~2x slower — sendfile stalls against the
+		// copy-out instead of overlapping it). Deliberately not done at
+		// Dial: small-read connections (swarm chunk pulls, boot-time
+		// demand fills) should not pin megabytes of receive buffer.
+		if c.bumpedRcvbuf.CompareAndSwap(false, true) {
+			if tc, ok := c.conn.(*net.TCPConn); ok {
+				tc.SetReadBuffer(4 * MaxZeroCopySegment) //nolint:errcheck // best-effort tuning
+			}
+		}
+	}
 	putFrame(resp)
 	return rf, nil
 }
@@ -465,17 +541,26 @@ type segment struct {
 	n     int
 }
 
-// segments appends total split into rwsize-bounded pieces to segs (pass a
+// segments appends total split into segSize-bounded pieces to segs (pass a
 // pooled slice from getSegs).
-func (f *RemoteFile) segments(segs []segment, total int) []segment {
-	for start := 0; start < total; start += f.c.rwsize {
+func (f *RemoteFile) segments(segs []segment, total, segSize int) []segment {
+	for start := 0; start < total; start += segSize {
 		n := total - start
-		if n > f.c.rwsize {
-			n = f.c.rwsize
+		if n > segSize {
+			n = segSize
 		}
 		segs = append(segs, segment{start: start, n: n})
 	}
 	return segs
+}
+
+// readSegSize is the per-read segment bound: the handle's jumbo size when the
+// server serves it zero-copy, the connection rwsize otherwise.
+func (f *RemoteFile) readSegSize() int {
+	if f.readSeg > 0 {
+		return f.readSeg
+	}
+	return f.c.rwsize
 }
 
 // ReadAt reads remotely, segmenting to the negotiated rwsize. Multi-segment
@@ -488,22 +573,28 @@ func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
 		return 0, ErrBadRequest
 	}
 	readSeg := func(s segment) (int, error) {
+		dst := p[s.start : s.start+s.n]
 		req := getFrame()
 		req.op = OpRead
 		req.handle = f.handle
 		req.offset = uint64(off + int64(s.start))
 		req.aux = uint64(s.n)
-		resp, err := f.c.roundTrip(req)
+		resp, err := f.c.roundTrip(req, dst)
 		if err != nil {
 			return 0, err
 		}
-		n := copy(p[s.start:s.start+s.n], resp.payload)
+		n := len(resp.payload)
+		if n > 0 && &resp.payload[0] != &dst[0] {
+			// Pooled delivery (the read loop declined in-place delivery,
+			// e.g. an oversized reply): copy out as before.
+			n = copy(dst, resp.payload)
+		}
 		putFrame(resp)
 		return n, nil
 	}
 	sp := f.c.getSegs()
 	defer f.c.putSegs(sp)
-	segs := f.segments(*sp, len(p))
+	segs := f.segments(*sp, len(p), f.readSegSize())
 	*sp = segs
 	if len(segs) <= 1 {
 		done := 0
@@ -544,7 +635,7 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 		req.handle = f.handle
 		req.offset = uint64(off + int64(s.start))
 		req.payload = p[s.start : s.start+s.n]
-		resp, err := f.c.roundTrip(req)
+		resp, err := f.c.roundTrip(req, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -553,7 +644,7 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	}
 	sp := f.c.getSegs()
 	defer f.c.putSegs(sp)
-	segs := f.segments(*sp, len(p))
+	segs := f.segments(*sp, len(p), f.c.rwsize)
 	*sp = segs
 	var done int
 	var err error
@@ -644,7 +735,7 @@ func (f *RemoteFile) inParallel(segs []segment, op func(segment) (int, error)) (
 func (f *RemoteFile) Size() (int64, error) {
 	req := getFrame()
 	req.op, req.handle = OpStat, f.handle
-	resp, err := f.c.roundTrip(req)
+	resp, err := f.c.roundTrip(req, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -663,7 +754,7 @@ func (f *RemoteFile) Truncate(n int64) error {
 	}
 	req := getFrame()
 	req.op, req.handle, req.aux = OpTruncate, f.handle, uint64(n)
-	resp, err := f.c.roundTrip(req)
+	resp, err := f.c.roundTrip(req, nil)
 	if err == nil {
 		putFrame(resp)
 		f.mu.Lock()
@@ -677,7 +768,7 @@ func (f *RemoteFile) Truncate(n int64) error {
 func (f *RemoteFile) Sync() error {
 	req := getFrame()
 	req.op, req.handle = OpSync, f.handle
-	resp, err := f.c.roundTrip(req)
+	resp, err := f.c.roundTrip(req, nil)
 	if err == nil {
 		putFrame(resp)
 	}
@@ -696,7 +787,7 @@ func (f *RemoteFile) Close() error {
 	f.mu.Unlock()
 	req := getFrame()
 	req.op, req.handle = OpClose, f.handle
-	resp, err := f.c.roundTrip(req)
+	resp, err := f.c.roundTrip(req, nil)
 	if err == nil {
 		putFrame(resp)
 	}

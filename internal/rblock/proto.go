@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"os"
 	"sync"
 )
 
@@ -26,6 +27,16 @@ const (
 
 	// MaxNameLen bounds export names.
 	MaxNameLen = 4096
+
+	// MaxZeroCopySegment caps read segments on descriptor-backed read-only
+	// handles. The rwsize cap exists to bound the copy path's pooled
+	// buffers; a zero-copy reply is (fd, off, len) and needs no buffer at
+	// all, so the server advertises this larger cap at open and bulk cache
+	// pulls move 16x fewer frames. Kept at 1 MiB — not maxPayload — so
+	// multi-megabyte reads still split into several pipelined segments and
+	// the server's sendfile overlaps the client's copy-out. Must stay
+	// below maxPayload.
+	MaxZeroCopySegment = 1 << 20
 
 	// maxPayload bounds any single frame's payload (sanity limit).
 	maxPayload = 8 << 20
@@ -170,13 +181,27 @@ type frame struct {
 	// the caller's buffer). Never sent on the wire.
 	pooled *[]byte
 	ppool  *payloadPool
+
+	// file, when non-nil, is a zero-copy payload segment: fileLen bytes
+	// starting at fileOff travel on the wire after payload and vec, pushed
+	// by sendfile(2) instead of a user-space copy (reply-side only; the
+	// receiver sees one contiguous payload either way). done, when non-nil,
+	// runs in putFrame once the frame has left the wire (or been abandoned
+	// on error) — it releases the handle reference that pins file open, so
+	// a concurrent OpClose or eviction can never close the descriptor while
+	// the reply is still queued.
+	file    *os.File
+	fileOff int64
+	fileLen int64
+	done    func()
 }
 
 // payloadPool recycles payload buffers of a fixed nominal size (the
 // connection's rwsize). Buffers are handed out and returned by pointer so
 // recycling does not allocate a box per Put. Requests larger than the
-// nominal size (rare control frames never are) fall back to plain
-// allocation and are dropped on put.
+// nominal size (jumbo zero-copy reads, rare control frames) fall back to
+// plain allocation and are dropped on put, so the pool never accumulates
+// oversized buffers.
 type payloadPool struct {
 	pool sync.Pool
 	size int
@@ -201,7 +226,7 @@ func (p *payloadPool) get(n int) *[]byte {
 }
 
 func (p *payloadPool) put(bp *[]byte) {
-	if cap(*bp) >= p.size {
+	if cap(*bp) == p.size {
 		*bp = (*bp)[:p.size]
 		p.pool.Put(bp)
 	}
@@ -214,8 +239,13 @@ var framePool = sync.Pool{New: func() any { return new(frame) }}
 func getFrame() *frame { return framePool.Get().(*frame) }
 
 // putFrame recycles f and, when its payload is pool-owned, the payload
-// buffer too. The caller must be done with f.payload.
+// buffer too. The caller must be done with f.payload. A zero-copy frame's
+// done hook runs here — putFrame is the single point every frame passes
+// through, success or error path, so the pinned handle always unpins.
 func putFrame(f *frame) {
+	if f.done != nil {
+		f.done()
+	}
 	if f.pooled != nil && f.ppool != nil {
 		f.ppool.put(f.pooled)
 	}
@@ -238,13 +268,14 @@ func encodeFrameHeader(dst []byte, f *frame) {
 	be.PutUint64(dst[28:], f.aux)
 }
 
-// payloadLen is the total wire payload: payload plus every vec segment.
+// payloadLen is the total wire payload: payload, every vec segment, and the
+// zero-copy file segment.
 func (f *frame) payloadLen() int {
 	n := len(f.payload)
 	for _, v := range f.vec {
 		n += len(v)
 	}
-	return n
+	return n + int(f.fileLen)
 }
 
 // readFrame deserialises one frame from r. The frame comes from framePool;

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 
 	"vmicache/internal/backend"
 	"vmicache/internal/metrics"
+	"vmicache/internal/zerocopy"
 )
 
 // ServerStats is a point-in-time snapshot of a server's traffic counters —
@@ -28,6 +30,11 @@ type ServerStats struct {
 	Opens        int64
 	Conns        int64 // connections accepted over the server's lifetime
 	ActiveConns  int64 // connections currently open
+
+	// Zero-copy serve effectiveness (all zero unless ServerOpts.ZeroCopy).
+	ZeroCopyBytes     int64 // payload bytes shipped by sendfile
+	ZeroCopySegments  int64 // read replies shipped by sendfile
+	ZeroCopyFallbacks int64 // reads that wanted the fast path but copied
 
 	// PerImage breaks traffic down by export name — which images are hot,
 	// and how many bytes each one shipped (cache transfers show up here as
@@ -49,6 +56,10 @@ func (st ServerStats) String() string {
 		float64(st.BytesRead)/1e6, st.ReadOps,
 		float64(st.BytesWritten)/1e6, st.WriteOps,
 		st.Opens, st.Conns, st.ActiveConns)
+	if st.ZeroCopySegments > 0 || st.ZeroCopyFallbacks > 0 {
+		fmt.Fprintf(&b, "\n  zero-copy: %.1f MB over %d replies, %d fallbacks",
+			float64(st.ZeroCopyBytes)/1e6, st.ZeroCopySegments, st.ZeroCopyFallbacks)
+	}
 	names := make([]string, 0, len(st.PerImage))
 	for n := range st.PerImage {
 		names = append(names, n)
@@ -72,6 +83,13 @@ type serverCounters struct {
 	activeConns  atomic.Int64
 	activeReqs   atomic.Int64 // requests currently dispatched (drained by Shutdown)
 	latency      metrics.AtomicHistogram
+
+	// Zero-copy serve effectiveness: bytes/segments shipped by sendfile,
+	// and reads that wanted the fast path but fell back to the copy path
+	// (non-descriptor-backed export or writable handle).
+	zcBytes     atomic.Int64
+	zcSegments  atomic.Int64
+	zcFallbacks atomic.Int64
 
 	mu       sync.Mutex
 	perImage map[string]*imageCounters
@@ -155,6 +173,13 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	logf     func(format string, args ...any)
 	readOnly bool
+	zeroCopy bool
+
+	// testSndbuf, when non-zero, overrides the zero-copy send-buffer size
+	// on accepted connections. Tests shrink it so sendfile returns short
+	// mid-reply and the resume path gets exercised; production always uses
+	// the jumbo default.
+	testSndbuf int
 }
 
 // ServerOpts configures a Server.
@@ -174,6 +199,12 @@ type ServerOpts struct {
 	// manifest-first delta transfer). Servers without one reject both ops
 	// with StatusBadRequest.
 	Chunks ChunkSource
+	// ZeroCopy serves reads of descriptor-backed read-only exports with
+	// sendfile(2) instead of a pread+write copy. Exports that cannot offer
+	// a raw descriptor (or writable handles) keep the copy path per read;
+	// on platforms without sendfile the helper degrades to a copy
+	// internally, so the option is safe to leave on everywhere.
+	ZeroCopy bool
 }
 
 // NewServer returns a server exporting store.
@@ -194,6 +225,7 @@ func NewServer(store backend.Store, opts ServerOpts) *Server {
 		conns:    make(map[net.Conn]struct{}),
 		logf:     logf,
 		readOnly: opts.ReadOnly,
+		zeroCopy: opts.ZeroCopy,
 	}
 	srv.stats.perImage = make(map[string]*imageCounters)
 	srv.payloads = newPayloadPool(rw)
@@ -212,7 +244,12 @@ func (s *Server) Stats() ServerStats {
 		Opens:        c.opens.Load(),
 		Conns:        c.conns.Load(),
 		ActiveConns:  c.activeConns.Load(),
-		PerImage:     make(map[string]ImageStats),
+
+		ZeroCopyBytes:     c.zcBytes.Load(),
+		ZeroCopySegments:  c.zcSegments.Load(),
+		ZeroCopyFallbacks: c.zcFallbacks.Load(),
+
+		PerImage: make(map[string]ImageStats),
 	}
 	c.mu.Lock()
 	for name, ic := range c.perImage {
@@ -249,6 +286,12 @@ func (s *Server) RegisterMetrics(r *metrics.Registry, labels metrics.Labels) {
 		"Requests currently dispatched.", labels, c.activeReqs.Load)
 	r.RegisterHistogram("vmicache_rblock_server_request_ns",
 		"Server-side request handling duration.", labels, &c.latency)
+	r.CounterFunc("vmicache_rblock_server_zerocopy_bytes_total",
+		"Payload bytes served via the sendfile zero-copy path.", labels, c.zcBytes.Load)
+	r.CounterFunc("vmicache_rblock_server_zerocopy_segments_total",
+		"Read replies served via the sendfile zero-copy path.", labels, c.zcSegments.Load)
+	r.CounterFunc("vmicache_rblock_server_zerocopy_fallbacks_total",
+		"Reads that wanted zero-copy but used the copy path.", labels, c.zcFallbacks.Load)
 	c.mu.Lock()
 	c.reg, c.regLabels = r, labels
 	for name, ic := range c.perImage {
@@ -286,6 +329,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if s.zeroCopy {
+			// Jumbo segments move MaxZeroCopySegment per reply; give the
+			// kernel room for several so sendfile returns without
+			// blocking on the receiver's drain.
+			sndbuf := 4 * MaxZeroCopySegment
+			if s.testSndbuf > 0 {
+				sndbuf = s.testSndbuf
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetWriteBuffer(sndbuf) //nolint:errcheck // best-effort tuning
+			}
+		}
 		s.stats.conns.Add(1)
 		s.stats.activeConns.Add(1)
 		go s.serveConn(conn)
@@ -361,16 +416,42 @@ type connState struct {
 }
 
 // openHandle ties an open file to the export name it was opened under, so
-// traffic can be attributed per image.
+// traffic can be attributed per image. Handles are reference counted: the
+// handle table holds one reference, every in-flight request another, and a
+// zero-copy reply a third that lives until the frame leaves the wire — so
+// OpClose (or connection teardown) can never close the descriptor while a
+// queued sendfile still points at it. The file closes when the last
+// reference drops.
 type openHandle struct {
-	f  backend.File
-	ic *imageCounters
+	f    backend.File
+	ic   *imageCounters
+	refs atomic.Int32
+
+	// Zero-copy eligibility, frozen at open: sys is the raw descriptor when
+	// the export exposes one, size the file length, ro whether the handle
+	// rejects writes (only immutable exports may be served by sendfile — a
+	// concurrent writer would make the promised length a lie).
+	sys  *os.File
+	size int64
+	ro   bool
 }
 
+func (oh *openHandle) retain() { oh.refs.Add(1) }
+
+func (oh *openHandle) release() {
+	if oh.refs.Add(-1) == 0 {
+		oh.f.Close() //nolint:errcheck // deferred close has no caller to tell
+	}
+}
+
+// get looks up a handle and retains it; the caller must release.
 func (cs *connState) get(h uint32) (*openHandle, bool) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	oh, ok := cs.handles[h]
+	if ok {
+		oh.retain()
+	}
 	return oh, ok
 }
 
@@ -457,6 +538,13 @@ func (w *replyWriter) send(f *frame) error {
 }
 
 // writeBatch pushes a batch of replies to the socket as one vectored write.
+// Zero-copy frames interleave: the headers and copied payloads accumulated
+// so far flush as one writev, then the file segment goes out via sendfile,
+// then accumulation resumes — so a batch mixing copy and zero-copy replies
+// still issues the minimum number of syscalls. A short sendfile return is
+// handled inside zerocopy.Send by resuming at the file offset actually
+// reached, not by advancing an iovec, so mid-segment stalls cannot skew the
+// stream.
 func (w *replyWriter) writeBatch(batch []*frame) error {
 	need := len(batch) * frameHeaderLen
 	if cap(w.hdrs) < need {
@@ -464,8 +552,22 @@ func (w *replyWriter) writeBatch(batch []*frame) error {
 	}
 	hdrs := w.hdrs[:need]
 	iov := w.iov[:0]
+	flush := func() error {
+		if len(iov) == 0 {
+			return nil
+		}
+		// WriteTo consumes its receiver (and advances the elements on
+		// partial writes): hand it the wip copy so iov's backing stays
+		// reusable, and use a field as the receiver so no slice header
+		// escapes per batch.
+		w.wip = iov
+		_, err := w.wip.WriteTo(w.conn)
+		iov = iov[:0]
+		return err
+	}
 	for i, f := range batch {
 		if f.payloadLen() > maxPayload {
+			w.iov = iov
 			return fmt.Errorf("%w: payload %d", ErrBadFrame, f.payloadLen())
 		}
 		h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
@@ -479,13 +581,19 @@ func (w *replyWriter) writeBatch(batch []*frame) error {
 				iov = append(iov, v)
 			}
 		}
+		if f.file != nil && f.fileLen > 0 {
+			if err := flush(); err != nil {
+				w.iov = iov
+				return err
+			}
+			if _, err := zerocopy.Send(w.conn, f.file, f.fileOff, f.fileLen); err != nil {
+				w.iov = iov
+				return err
+			}
+		}
 	}
+	err := flush()
 	w.iov = iov // keep the grown capacity for the next batch
-	// WriteTo consumes its receiver (and advances the elements on partial
-	// writes): hand it the wip copy so iov's backing stays reusable, and
-	// use a field as the receiver so no slice header escapes per batch.
-	w.wip = iov
-	_, err := w.wip.WriteTo(w.conn)
 	return err
 }
 
@@ -509,7 +617,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		wg.Wait()
 		for _, oh := range cs.handles {
-			oh.f.Close() //nolint:errcheck
+			oh.release() // the table's reference; queued frames hold their own
 		}
 	}()
 	sem := make(chan struct{}, maxConcurrentPerConn)
@@ -569,10 +677,21 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 			return fail(StatusIO)
 		}
 		ic := s.stats.image(name)
+		oh := &openHandle{f: f, ic: ic, size: size, ro: ro}
+		oh.refs.Store(1) // the handle table's reference
+		if s.zeroCopy && ro {
+			oh.sys = zerocopy.SysFile(f)
+		}
+		if oh.sys != nil {
+			// Advertise jumbo read segments for descriptor-backed handles
+			// in the open reply's otherwise-unused offset field; clients
+			// that predate the field ignore it and keep rwsize segments.
+			resp.offset = uint64(MaxZeroCopySegment)
+		}
 		cs.mu.Lock()
 		cs.nextHandle++
 		h := cs.nextHandle
-		cs.handles[h] = &openHandle{f: f, ic: ic}
+		cs.handles[h] = oh
 		cs.mu.Unlock()
 		resp.handle = h
 		resp.aux = uint64(size)
@@ -582,8 +701,55 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 
 	case OpRead:
 		oh, ok := cs.get(req.handle)
-		if !ok || req.aux == 0 || req.aux > uint64(s.rwsize) {
+		// zeroCopyMinRead is the smallest read served by sendfile; see the
+		// policy comment below.
+		const zeroCopyMinRead = DefaultRWSize
+		lim := uint64(s.rwsize)
+		if ok && oh.sys != nil && lim < MaxZeroCopySegment {
+			// Descriptor-backed reads carry no server buffer, so the
+			// rwsize cap protecting the payload pool does not apply.
+			lim = MaxZeroCopySegment
+		}
+		if !ok || req.aux == 0 || req.aux > lim {
+			if ok {
+				oh.release()
+			}
 			return fail(StatusBadRequest)
+		}
+		defer oh.release()
+		if oh.sys != nil {
+			// Zero-copy: reply with a file segment instead of bytes. Only
+			// reads spanning at least one rwsize segment qualify — for
+			// small boot-time reads the batched writev of pooled buffers
+			// beats an extra sendfile syscall per reply, while bulk cache
+			// pulls (the jumbo segments above) skip the server-side copy
+			// entirely. The length is clamped by the size frozen at open
+			// (read-only exports never grow or shrink), mirroring the
+			// short read the copy path would produce at EOF; the frame
+			// holds its own handle reference until it leaves the wire, so
+			// a concurrent OpClose — or eviction unlinking the published
+			// file — cannot invalidate the descriptor mid-sendfile.
+			off := int64(req.offset)
+			if off < oh.size && req.aux >= zeroCopyMinRead {
+				n := int64(req.aux)
+				if off+n > oh.size {
+					n = oh.size - off
+				}
+				oh.retain()
+				resp.file, resp.fileOff, resp.fileLen = oh.sys, off, n
+				resp.done = oh.release
+				s.stats.readOps.Add(1)
+				s.stats.bytesRead.Add(n)
+				s.stats.zcSegments.Add(1)
+				s.stats.zcBytes.Add(n)
+				oh.ic.readOps.Add(1)
+				oh.ic.bytesRead.Add(n)
+				return resp
+			}
+			// Sub-segment reads and past-EOF: fall through to the copy
+			// path by policy — not counted as fallbacks.
+		} else if s.zeroCopy {
+			s.stats.zcFallbacks.Add(1)
 		}
 		bp := s.payloads.get(int(req.aux))
 		buf := (*bp)[:req.aux]
@@ -613,8 +779,12 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		}
 		oh, ok := cs.get(req.handle)
 		if !ok || len(req.payload) == 0 || len(req.payload) > s.rwsize {
+			if ok {
+				oh.release()
+			}
 			return fail(StatusBadRequest)
 		}
+		defer oh.release()
 		if err := backend.WriteFull(oh.f, req.payload, int64(req.offset)); err != nil {
 			return fail(StatusIO)
 		}
@@ -627,6 +797,7 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if !ok {
 			return fail(StatusBadRequest)
 		}
+		defer oh.release()
 		if err := oh.f.Sync(); err != nil {
 			return fail(StatusIO)
 		}
@@ -640,6 +811,7 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if !ok {
 			return fail(StatusBadRequest)
 		}
+		defer oh.release()
 		if err := oh.f.Truncate(int64(req.aux)); err != nil {
 			return fail(StatusIO)
 		}
@@ -650,6 +822,7 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if !ok {
 			return fail(StatusBadRequest)
 		}
+		defer oh.release()
 		size, err := oh.f.Size()
 		if err != nil {
 			return fail(StatusIO)
@@ -756,9 +929,10 @@ func (s *Server) handle(req *frame, cs *connState) *frame {
 		if !ok {
 			return fail(StatusBadRequest)
 		}
-		if err := oh.f.Close(); err != nil {
-			return fail(StatusIO)
-		}
+		// Drop the table's reference; the actual close may be deferred past
+		// this reply if a zero-copy frame still holds the descriptor, so a
+		// close error has no caller to reach and is ignored.
+		oh.release()
 		return resp
 
 	default:

@@ -1,0 +1,345 @@
+package rblock
+
+// Tests for the sendfile serve path: byte-identity against the copy path,
+// the fallback matrix (memory-backed store, writable handle, zero-copy off),
+// eviction and OpClose racing queued zero-copy replies (the handle refcount
+// keeping the descriptor alive), and a slow client forcing short sendfile
+// returns mid-batch — all run under -race by make check.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vmicache/internal/backend"
+)
+
+// newDirServer starts a zero-copy server over a DirStore holding one
+// published (read-only) export with deterministic-random content.
+func newDirServer(t *testing.T, size int, opts ServerOpts) (*backend.DirStore, string, *Server, []byte) {
+	t.Helper()
+	store, err := backend.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(101)).Read(data)
+	f, err := store.Create("pub.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.WriteFull(f, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	return store, addr, srv, data
+}
+
+// TestServerReadZeroCopyIdentity proves reads through the sendfile path are
+// byte-identical to the source, across sizes, offsets, and the EOF clamp,
+// and that the zero-copy counters (not the fallback counter) advance.
+func TestServerReadZeroCopyIdentity(t *testing.T) {
+	const size = 1 << 20
+	_, addr, srv, data := newDirServer(t, size, ServerOpts{ZeroCopy: true, ReadOnly: true})
+	c := dial(t, addr, 0)
+	rf, err := c.Open("pub.img", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ off, n int }{
+		{0, 4096},
+		{777, 60000},
+		{size - 100, 100},
+	} {
+		buf := make([]byte, tc.n)
+		if err := backend.ReadFull(rf, buf, int64(tc.off)); err != nil {
+			t.Fatalf("read (%d,%d): %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(buf, data[tc.off:tc.off+tc.n]) {
+			t.Fatalf("read (%d,%d): mismatch", tc.off, tc.n)
+		}
+	}
+	// Spanning read larger than rwsize: segmented, every segment zero-copy.
+	got := make([]byte, size)
+	if err := backend.ReadFull(rf, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("full read mismatch")
+	}
+	st := srv.stats.zcSegments.Load()
+	if st == 0 || srv.stats.zcBytes.Load() == 0 {
+		t.Fatalf("zero-copy counters did not advance: segments=%d", st)
+	}
+	if srv.stats.zcFallbacks.Load() != 0 {
+		t.Fatalf("unexpected fallbacks: %d", srv.stats.zcFallbacks.Load())
+	}
+	// EOF clamp: a read straddling the end returns the short tail.
+	tail := make([]byte, 4096)
+	n, err := rf.ReadAt(tail, int64(size-1000))
+	if n != 1000 {
+		t.Fatalf("EOF clamp: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(tail[:1000], data[size-1000:]) {
+		t.Fatal("EOF tail mismatch")
+	}
+}
+
+// TestServerReadZeroCopyFallbacks drives the copy-path refusals: a
+// memory-backed store has no descriptor (fallback counter advances), a
+// writable handle is never zero-copy, and with the option off the counters
+// stay dark.
+func TestServerReadZeroCopyFallbacks(t *testing.T) {
+	t.Run("memory-backed store", func(t *testing.T) {
+		store, addr, srv := newServer(t, ServerOpts{ZeroCopy: true})
+		f, err := store.Create("mem.img")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := bytes.Repeat([]byte{0xA5}, 64<<10)
+		if err := backend.WriteFull(f, seed, 0); err != nil {
+			t.Fatal(err)
+		}
+		c := dial(t, addr, 0)
+		rf, err := c.Open("mem.img", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(seed))
+		if err := backend.ReadFull(rf, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, seed) {
+			t.Fatal("fallback read mismatch")
+		}
+		if srv.stats.zcSegments.Load() != 0 {
+			t.Fatal("memory-backed export claimed zero-copy")
+		}
+		if srv.stats.zcFallbacks.Load() == 0 {
+			t.Fatal("fallback counter did not advance")
+		}
+	})
+
+	t.Run("writable handle", func(t *testing.T) {
+		_, addr, srv, data := newDirServer(t, 64<<10, ServerOpts{ZeroCopy: true})
+		c := dial(t, addr, 0)
+		rf, err := c.Open("pub.img", false) // read-write open
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if err := backend.ReadFull(rf, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("writable-handle read mismatch")
+		}
+		if srv.stats.zcSegments.Load() != 0 {
+			t.Fatal("writable handle served by sendfile")
+		}
+	})
+
+	t.Run("zero-copy off", func(t *testing.T) {
+		_, addr, srv, data := newDirServer(t, 64<<10, ServerOpts{ReadOnly: true})
+		c := dial(t, addr, 0)
+		rf, err := c.Open("pub.img", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if err := backend.ReadFull(rf, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("copy-path read mismatch")
+		}
+		if z := &srv.stats; z.zcSegments.Load() != 0 || z.zcFallbacks.Load() != 0 {
+			t.Fatal("zero-copy counters moved with the option off")
+		}
+	})
+}
+
+// TestServerZeroCopyEvictionMidServe unlinks the published file (cache
+// eviction) while a client keeps reading through an already-open handle: the
+// held descriptor must keep every byte identical to the pre-eviction
+// content.
+func TestServerZeroCopyEvictionMidServe(t *testing.T) {
+	const size = 1 << 20
+	store, addr, _, data := newDirServer(t, size, ServerOpts{ZeroCopy: true, ReadOnly: true})
+	c := dial(t, addr, 0)
+	rf, err := c.Open("pub.img", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, 4096)
+	if err := backend.ReadFull(rf, head, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Evict: the export disappears from the store while the handle is open.
+	if err := store.Remove("pub.img"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	if err := backend.ReadFull(rf, got, 0); err != nil {
+		t.Fatalf("read after eviction: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-eviction read mismatch")
+	}
+	// New opens must fail — the export is gone.
+	if _, err := c.Open("pub.img", true); err == nil {
+		t.Fatal("open succeeded after eviction")
+	}
+}
+
+// TestServerZeroCopyCloseRace hammers concurrent reads against OpClose on
+// the same export: the per-handle refcount must keep every reply intact
+// (each read either completes with correct bytes or fails cleanly because
+// its handle was already closed). Run under -race by make check.
+func TestServerZeroCopyCloseRace(t *testing.T) {
+	const size = 256 << 10
+	_, addr, srv, data := newDirServer(t, size, ServerOpts{ZeroCopy: true, ReadOnly: true})
+	for round := 0; round < 8; round++ {
+		c := dial(t, addr, 0)
+		rf, err := c.Open("pub.img", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rnd := rand.New(rand.NewSource(seed))
+				// At least one rwsize segment, so the reads actually ride
+				// the sendfile path (small reads copy by policy).
+				buf := make([]byte, 64<<10)
+				<-start
+				for i := 0; i < 20; i++ {
+					off := rnd.Int63n(size - int64(len(buf)))
+					n, err := rf.ReadAt(buf, off)
+					if err != nil {
+						return // closed under us: acceptable
+					}
+					if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
+						panic("close race: data mismatch")
+					}
+				}
+			}(int64(round*10 + r))
+		}
+		close(start)
+		rf.Close() //nolint:errcheck // racing the readers by design
+		wg.Wait()
+		c.Close() //nolint:errcheck
+	}
+	if srv.stats.zcSegments.Load() == 0 {
+		t.Fatal("close race never exercised the zero-copy path")
+	}
+}
+
+// TestServerZeroCopySlowClient shrinks the server's send buffer to a few
+// KiB under jumbo (1 MiB) read replies, so every sendfile call fills the
+// socket buffer and returns short repeatedly in the middle of batched
+// replies; the resume logic must keep the pipelined streams byte-identical.
+// This is the wire-level fault injection of the reply-writer partial-write
+// matrix.
+func TestServerZeroCopySlowClient(t *testing.T) {
+	const size = 4 << 20
+	store, err := backend.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(101)).Read(data)
+	f, err := store.Create("pub.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.WriteFull(f, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, ServerOpts{ZeroCopy: true, ReadOnly: true})
+	// Set before Listen: a jumbo reply is ~16x the squeezed send buffer,
+	// so each one takes many short sendfile returns to drain.
+	srv.testSndbuf = 32 << 10
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	c, err := Dial(addr, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck
+	rf, err := c.Open("pub.img", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			buf := make([]byte, MaxZeroCopySegment) // one jumbo segment per read
+			for i := 0; i < 2; i++ {
+				off := rnd.Int63n(size - int64(len(buf)))
+				if err := backend.ReadFull(rf, buf, off); err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(buf, data[off:off+int64(len(buf))]) {
+					errc <- os.ErrInvalid
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("slow-client read: %v", err)
+	}
+	if srv.stats.zcSegments.Load() == 0 {
+		t.Fatal("slow-client reads never exercised the zero-copy path")
+	}
+}
+
+// TestZeroCopyCrossesDirStorePath is a plumbing check: DirStore's os-backed
+// files must expose their descriptor through the zerocopy.Filer unwrap used
+// at open time, or the fast path silently never engages.
+func TestZeroCopyCrossesDirStorePath(t *testing.T) {
+	store, err := backend.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.Create("x.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck
+	osf, ok := f.(interface{ SysFile() *os.File })
+	if !ok || osf.SysFile() == nil {
+		t.Fatal("DirStore file does not expose a descriptor")
+	}
+	if filepath.Base(osf.SysFile().Name()) != "x.img" {
+		t.Fatalf("descriptor names %q", osf.SysFile().Name())
+	}
+}

@@ -1,0 +1,41 @@
+//go:build linux
+
+package zerocopy
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mmap maps f[0:n) read-only and shared. The caller owns the mapping and
+// must release it with Munmap; the mapping stays valid across an unlink of
+// the file (eviction of a published cache), exactly like a held descriptor.
+func Mmap(f *os.File, n int64) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zerocopy: mmap of %d bytes", n)
+	}
+	if int64(int(n)) != n {
+		return nil, fmt.Errorf("zerocopy: mmap of %d bytes exceeds address space", n)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(n), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// Munmap releases a mapping returned by Mmap.
+func Munmap(m []byte) error { return syscall.Munmap(m) }
+
+// AdviseWillNeed asks the kernel to fault in m[off:off+n) ahead of use
+// (metadata tables of a warm image: L1, refcount, sub-cluster bitmaps, hot
+// L2 region). The start is aligned down to the page size as madvise
+// requires; errors are advisory and safe to ignore.
+func AdviseWillNeed(m []byte, off, n int64) error {
+	if off < 0 || n <= 0 || off >= int64(len(m)) {
+		return nil
+	}
+	start := pageAlignDown(off)
+	end := off + n
+	if end > int64(len(m)) {
+		end = int64(len(m))
+	}
+	return syscall.Madvise(m[start:end], syscall.MADV_WILLNEED)
+}

@@ -1,0 +1,89 @@
+//go:build linux
+
+package zerocopy
+
+import (
+	"io"
+	"net"
+	"os"
+	"syscall"
+)
+
+// Supported reports whether the platform provides true zero-copy sends.
+const Supported = true
+
+// maxSendfileChunk bounds one sendfile(2) call; the kernel caps transfers
+// around 2 GiB per call anyway, and resuming in bounded chunks keeps the
+// short-return arithmetic honest.
+const maxSendfileChunk = 1 << 30
+
+// Send transfers f[off:off+n) to conn without copying the bytes through
+// user space. The destination must be a real socket (anything exposing
+// syscall.Conn); other writers — and transports whose raw write path
+// refuses sendfile — degrade to CopySegment. Short sendfile returns and
+// EAGAIN are resumed at the correct FILE offset (off+sent), never by
+// replaying a stale position, so a slow receiver mid-batch cannot skew the
+// stream.
+func Send(conn net.Conn, f *os.File, off, n int64) (int64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return CopySegment(conn, f, off, n)
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return CopySegment(conn, f, off, n)
+	}
+	src := int(f.Fd())
+	var sent int64
+	var opErr error
+	fallback := false
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < n {
+			chunk := n - sent
+			if chunk > maxSendfileChunk {
+				chunk = maxSendfileChunk
+			}
+			// pos is recomputed from sent every call: sendfile advances
+			// it in place, and a short return resumes exactly where the
+			// kernel stopped.
+			pos := off + sent
+			m, err := syscall.Sendfile(int(fd), src, &pos, int(chunk))
+			if m > 0 {
+				sent += int64(m)
+			}
+			switch err {
+			case nil:
+				if m == 0 {
+					// The file ended before the promised length (the
+					// caller's header already announced n bytes).
+					opErr = io.ErrUnexpectedEOF
+					return true
+				}
+			case syscall.EINTR:
+				// retry
+			case syscall.EAGAIN:
+				return false // wait for writability, then resume
+			case syscall.EINVAL, syscall.ENOSYS:
+				// The pair does not support sendfile after all; finish
+				// the remainder through the copy path.
+				fallback = true
+				return true
+			default:
+				opErr = err
+				return true
+			}
+		}
+		return true
+	})
+	if werr != nil {
+		return sent, werr
+	}
+	if fallback {
+		m, cerr := CopySegment(conn, f, off+sent, n-sent)
+		return sent + m, cerr
+	}
+	return sent, opErr
+}
